@@ -1,0 +1,55 @@
+"""Ablations of the eq.-12 controller: adaptive vs fixed T_S under a
+load swing, and the EWMA gain α trade-off (eq. 10)."""
+
+from bench_util import emit
+
+from repro.harness.extensions import ablation_adaptivity, ablation_alpha
+from repro.harness.report import render_table
+
+
+def _run_adaptivity():
+    return ablation_adaptivity(duration_s=1.0)
+
+
+def _run_alpha():
+    return ablation_alpha(duration_ms=300)
+
+
+def test_ablation_adaptivity(benchmark):
+    out = benchmark.pedantic(_run_adaptivity, rounds=1, iterations=1)
+    emit(
+        "ablation_adaptivity",
+        render_table(
+            "Ablation — adaptive vs fixed T_S over a 0→14→0 Mpps ramp",
+            ["config", "cpu", "loss %", "mean lat us", "p99 lat us"],
+            [(k, v["cpu"], v["loss_pct"], v["mean_latency_us"],
+              v["p99_latency_us"]) for k, v in out.items()],
+        ),
+    )
+    adaptive = out["adaptive"]
+    fixed_fast = out["fixed_ts=10us"]   # latency-optimal, CPU-hungry
+    fixed_slow = out["fixed_ts=30us"]   # CPU-optimal, slow at peak
+    # nobody should lose traffic on this ramp
+    assert adaptive["loss_pct"] < 0.2
+    # the controller buys fixed-10us-like CPU *at the low-load edges*
+    # without fixed-30us's worst-case latency: adaptive must not be
+    # dominated by either fixed point
+    assert adaptive["cpu"] < fixed_fast["cpu"] + 0.02
+    assert adaptive["mean_latency_us"] < fixed_slow["mean_latency_us"] + 2
+
+
+def test_ablation_alpha(benchmark):
+    rows = benchmark.pedantic(_run_alpha, rounds=1, iterations=1)
+    emit(
+        "ablation_alpha",
+        render_table(
+            "Ablation — EWMA gain α: settling vs ripple (1→13 Mpps step)",
+            ["alpha", "settling ms", "rho ripple"],
+            rows,
+        ),
+    )
+    by_alpha = {a: (settle, ripple) for a, settle, ripple in rows}
+    # higher gain settles faster...
+    assert by_alpha[1.0][0] <= by_alpha[0.03][0]
+    # ...but carries more steady-state ripple
+    assert by_alpha[1.0][1] > by_alpha[0.03][1]

@@ -1,0 +1,64 @@
+"""Ablation: XDP interrupt moderation (ITR) — the interrupt-path
+equivalent of Metronome's V̄ knob.  Short ITR buys latency with
+per-interrupt CPU; long ITR the reverse."""
+
+from bench_util import emit
+
+from repro import config
+from repro.harness.report import render_table
+from repro.nic.traffic import gbps_to_pps
+
+
+def _run():
+    from repro.harness.experiment import default_app
+    from repro.kernel.machine import Machine
+    from repro.nic.device import NicPort
+    from repro.nic.traffic import CbrProcess
+    from repro.sim.units import MS
+    from repro.xdp.driver import XdpDriver
+
+    rows = []
+    rate = gbps_to_pps(1.0)
+    for itr_us in (4, 30, 100):
+        machine = Machine(config.SimConfig(seed=5))
+        port = NicPort(machine.sim, [CbrProcess(rate)],
+                       sample_every=machine.cfg.latency_sample_every)
+        app = default_app()
+        app.per_packet_ns = config.XDP_PKT_NS
+        driver = XdpDriver(machine, port, app, cores=[0],
+                           itr_ns=itr_us * 1000)
+        for q in driver.queues:
+            q._warm_remaining = 0
+        driver.start()
+        machine.run(until=60 * MS)
+        rows.append((
+            itr_us,
+            driver.total_irqs,
+            driver.cpu_utilization(),
+            driver.latency.mean() / 1e3,
+            driver.latency.percentile(99) / 1e3,
+            port.loss_fraction() * 100,
+        ))
+    return rows
+
+
+def test_ablation_itr(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "ablation_itr",
+        render_table(
+            "Ablation — XDP interrupt moderation at 1 Gbps",
+            ["ITR us", "irqs", "cpu", "mean lat us", "p99 us", "loss %"],
+            rows,
+        ),
+    )
+    by = {r[0]: r for r in rows}
+    # fewer interrupts with a longer ITR ...
+    assert by[4][1] > by[30][1] > by[100][1]
+    # ... which costs latency ...
+    assert by[100][3] > by[4][3]
+    # ... and buys CPU
+    assert by[100][2] < by[4][2]
+    # nobody loses packets at 1 Gbps
+    for r in rows:
+        assert r[5] < 0.1

@@ -1,0 +1,30 @@
+"""Appendix B validation: with a constant retrieval rate μ, measured
+busy periods must satisfy eq. (3) and backlogs Little's law across the
+whole load range."""
+
+from bench_util import emit
+
+from repro.harness.extensions import appendix_b_validation
+from repro.harness.report import render_table
+
+
+def _run():
+    return appendix_b_validation(duration_ms=60)
+
+
+def test_appendix_b_renewal_model(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "appendix_b",
+        render_table(
+            "Appendix B — renewal model validation",
+            ["rate Mpps", "measured B us", "eq.(3) B us", "N_V / (λ·V)"],
+            rows,
+        ),
+    )
+    for rate, measured_b, predicted_b, littles in rows:
+        # eq. (3): E[B|V] = V·ρ/(1−ρ) — within 20% across loads
+        assert measured_b == __import__("pytest").approx(
+            predicted_b, rel=0.25), f"eq.3 broke at {rate} Mpps"
+        # Little's law: N_V = λ·E[V] — tight
+        assert 0.85 < littles < 1.15, f"Little's law broke at {rate} Mpps"

@@ -1,0 +1,36 @@
+"""§5.1's bidirectional test: Metronome (3 threads per Rx queue)
+matches DPDK's maximum bidirectional throughput of 11.61 Mpps per port
+while using half the CPU."""
+
+from bench_util import emit
+
+from repro.harness.extensions import bidirectional_throughput
+from repro.harness.report import render_table
+
+
+def _run():
+    return bidirectional_throughput(duration_ms=60)
+
+
+def test_bidirectional_throughput(benchmark):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "bidirectional",
+        render_table(
+            "§5.1 — bidirectional throughput (11.61 Mpps per port offered)",
+            ["system", "Mpps/port", "loss %", "total CPU"],
+            [
+                ("metronome 3thr/queue", r.metronome_mpps_per_port,
+                 r.metronome_loss_pct, r.metronome_cpu),
+                ("dpdk 1 lcore/queue", r.dpdk_mpps_per_port,
+                 r.dpdk_loss_pct, r.dpdk_cpu),
+            ],
+        ),
+    )
+    # the paper's claim: same maximum bidirectional throughput
+    assert abs(r.metronome_mpps_per_port - r.dpdk_mpps_per_port) < 0.1
+    assert r.metronome_mpps_per_port > 11.4
+    assert r.metronome_loss_pct < 0.1
+    # at a fraction of the polling CPU (2 dedicated lcores = 200%)
+    assert r.dpdk_cpu > 1.95
+    assert r.metronome_cpu < 1.3

@@ -1,0 +1,34 @@
+"""§3.2's motivation scaled up: a 40GbE-class port (4 RSS queues at
+10 GbE line rate each), every queue shared by its own Metronome trio —
+CPU stays proportional while throughput scales."""
+
+from bench_util import emit
+
+from repro.harness.extensions import multiqueue_scaling
+from repro.harness.report import render_table
+
+
+def _run():
+    return [multiqueue_scaling(num_queues=n, duration_ms=30)
+            for n in (1, 2, 4)]
+
+
+def test_multiqueue_scaling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "ext_multiqueue",
+        render_table(
+            "Extension — multi-queue scaling (line rate per queue)",
+            ["queues", "offered Mpps", "delivered Mpps", "loss %",
+             "cpu total", "cpu/queue"],
+            [(r["num_queues"], r["offered_mpps"], r["delivered_mpps"],
+              r["loss_pct"], r["cpu_total"], r["cpu_per_queue"]) for r in rows],
+        ),
+    )
+    by_n = {r["num_queues"]: r for r in rows}
+    for n in (1, 2, 4):
+        r = by_n[n]
+        assert r["loss_pct"] < 0.05
+        assert r["delivered_mpps"] > 14.5 * n
+        # per-queue CPU cost stays flat as the port scales
+        assert abs(r["cpu_per_queue"] - by_n[1]["cpu_per_queue"]) < 0.12

@@ -1,0 +1,36 @@
+"""Extension: hyper-threading interference (paper §1) — a polling DPDK
+lcore derates its SMT sibling for the entire run; a Metronome thread
+only during its duty cycle."""
+
+from bench_util import emit
+
+from repro import config
+from repro.harness.extensions import smt_interference
+from repro.harness.report import render_table
+
+
+def _run():
+    return smt_interference(job_work_ms=60)
+
+
+def test_ext_smt_interference(benchmark):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+    slowdown_dpdk = r["dpdk_sibling"] / r["alone"]
+    slowdown_met = r["metronome_sibling"] / r["alone"]
+    emit(
+        "ext_smt",
+        render_table(
+            "Extension — SMT sibling interference (1 Gbps workload)",
+            ["sibling runs", "job completion ms", "slowdown"],
+            [
+                ("nothing", r["alone"], 1.0),
+                ("polling DPDK", r["dpdk_sibling"], slowdown_dpdk),
+                ("metronome thread", r["metronome_sibling"], slowdown_met),
+            ],
+        ),
+    )
+    # polling pins the sibling: the job runs at SMT_SLOWDOWN throughout
+    assert slowdown_dpdk > 0.9 / config.SMT_SLOWDOWN
+    # a Metronome thread only costs its duty cycle
+    assert slowdown_met < 1.25
+    assert slowdown_met < 0.8 * slowdown_dpdk

@@ -1,0 +1,64 @@
+"""Figure 11: Metronome's adaptation to a time-varying offered load
+(the MoonGen triangle ramp of §5.3): throughput tracking, T_S and ρ
+adjustment, CPU proportionality."""
+
+from bench_util import emit
+
+from repro.harness.report import render_table
+from repro.harness.scenarios import fig11_adaptation
+from repro.sim.units import SEC
+
+DURATION_S = 3.0
+
+
+def _run():
+    return fig11_adaptation(duration_s=DURATION_S, window_ms=50)
+
+
+def test_fig11_adaptation(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    s = result.series
+    offered = s.get("offered_mpps")
+    delivered = s.get("delivered_mpps")
+    ts_us = s.get("ts_us")
+    rho = s.get("rho")
+    cpu = s.get("cpu")
+    rows = []
+    for i in range(0, len(offered), max(1, len(offered) // 20)):
+        rows.append(
+            (offered[i][0] / SEC, offered[i][1], delivered[i][1],
+             ts_us[i][1], rho[i][1], cpu[i][1] if i < len(cpu) else 0.0)
+        )
+    emit(
+        "fig11",
+        render_table(
+            "Figure 11 — adaptation over the triangle ramp",
+            ["t s", "offered Mpps", "delivered Mpps", "T_S us", "rho", "cpu"],
+            rows,
+            note=f"{DURATION_S}s compressed ramp (paper: 60s, same shape)",
+        ),
+    )
+    # 11a: Metronome matches the generated rate throughout the ramp
+    assert result.total_delivered >= 0.995 * result.total_offered
+    for (t_o, o), (_t_d, d) in zip(offered, delivered):
+        if o > 1.0:
+            assert abs(d - o) / o < 0.1, f"tracking broke at t={t_o}"
+    # T_S adapts down as the load climbs: at the peak it nears V̄ (10us),
+    # at the valleys it nears M*V̄ (30us)
+    mid = len(ts_us) // 2
+    peak_ts = min(v for _t, v in ts_us[mid - 3: mid + 3])
+    edge_ts = max(v for _t, v in ts_us[:4] + ts_us[-4:])
+    # eq. 12 with ρ≈0.5 (μ≈2λ at line rate) gives T_S ≈ 17 us at peak
+    assert peak_ts < 20.0
+    assert edge_ts > 24.0
+    # rho follows the ramp: peaks mid-run
+    peak_rho = max(v for _t, v in rho[mid - 3: mid + 3])
+    edge_rho = min(v for _t, v in rho[:4])
+    assert peak_rho > 0.4
+    assert edge_rho < 0.2
+    # 11b: CPU rises with traffic and falls back (proportionality)
+    cpu_vals = [v for _t, v in cpu]
+    mid_cpu = max(cpu_vals[len(cpu_vals) // 2 - 3: len(cpu_vals) // 2 + 3])
+    edge_cpu = cpu_vals[0]
+    assert mid_cpu > 2.5 * edge_cpu
+    assert cpu_vals[-1] < 0.6 * mid_cpu

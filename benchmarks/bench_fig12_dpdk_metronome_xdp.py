@@ -1,0 +1,55 @@
+"""Figure 12: the headline comparison — latency and total CPU usage for
+Metronome, static-polling DPDK and XDP across offered rates."""
+
+from bench_util import emit
+
+from repro.harness import paper_data
+from repro.harness.report import render_table
+from repro.harness.scenarios import fig12_compare
+
+
+def _run():
+    return fig12_compare(duration_ms=80)
+
+
+def test_fig12_dpdk_metronome_xdp(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_rows = []
+    for system, gbps, lat, p99, cpu, loss in rows:
+        idx = {"metronome": 0, "dpdk": 1, "xdp": 2}[system]
+        paper_cpu = paper_data.FIG12B_CPU[gbps][idx]
+        table_rows.append((system, gbps, lat, p99, cpu, paper_cpu, loss))
+    emit(
+        "fig12",
+        render_table(
+            "Figure 12 — L3 forwarder: Metronome vs DPDK vs XDP",
+            ["system", "gbps", "mean lat us", "p99 us", "cpu",
+             "paper cpu", "loss %"],
+            table_rows,
+        ),
+    )
+    by = {(s, g): (lat, p99, cpu, loss) for s, g, lat, p99, cpu, loss in rows}
+    for gbps in (0.5, 1.0, 5.0, 10.0):
+        met = by[("metronome", gbps)]
+        dpdk = by[("dpdk", gbps)]
+        xdp = by[("xdp", gbps)]
+        # 12b: DPDK pins a core at 100%; Metronome is always cheaper
+        assert dpdk[2] > 0.99
+        assert met[2] < 0.75
+        # 12a: DPDK's continuous polling wins on latency
+        assert dpdk[0] < met[0]
+        # nobody loses packets at these operating points
+        assert met[3] < 0.1 and dpdk[3] < 0.1 and xdp[3] < 0.5
+    # 40% CPU saving even at line rate (paper: Metronome ~60% there)
+    assert by[("metronome", 10.0)][2] < 0.70
+    # >4x saving at 0.5 Gbps (paper: 18.6%, "more than 5x")
+    assert by[("metronome", 0.5)][2] < 0.25
+    # XDP's CPU exceeds Metronome's at every rate (per-interrupt tax),
+    # and explodes at high rates (4 saturated cores)
+    for gbps in (0.5, 1.0, 5.0, 10.0):
+        assert by[("xdp", gbps)][2] > by[("metronome", gbps)][2]
+    assert by[("xdp", 10.0)][2] > 3.0
+    # XDP latency inflates at line rate (§5.5)
+    assert by[("xdp", 10.0)][0] > 2 * by[("metronome", 10.0)][0]
+    # DPDK's minimum latency lands near the paper's 6.83 us
+    assert abs(by[("dpdk", 10.0)][0] - paper_data.DPDK_MIN_LATENCY_US) < 3.0

@@ -1,0 +1,44 @@
+"""Figure 13: package power vs offered rate under the performance and
+ondemand governors, Metronome vs static DPDK."""
+
+from bench_util import emit
+
+from repro.harness.report import render_table
+from repro.harness.scenarios import fig13_power_governors
+
+
+def _run():
+    return fig13_power_governors(duration_ms=100)
+
+
+def test_fig13_power_governors(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "fig13",
+        render_table(
+            "Figure 13 — power (W) vs rate under both governors",
+            ["governor", "system", "gbps", "watts", "cpu"],
+            rows,
+        ),
+    )
+    by = {(g, s, r): (w, c) for g, s, r, w, c in rows}
+    # Metronome draws less power than polling DPDK in every scenario
+    # except possibly 10 Gbps under performance (the paper's exception)
+    for gov in ("performance", "ondemand"):
+        for gbps in (0.0, 0.5, 1.0, 5.0):
+            assert by[(gov, "metronome", gbps)][0] < by[(gov, "dpdk", gbps)][0]
+    # maximum gain: no traffic under ondemand (paper: ~27%)
+    met = by[("ondemand", "metronome", 0.0)][0]
+    dpdk = by[("ondemand", "dpdk", 0.0)][0]
+    saving = 1 - met / dpdk
+    assert 0.10 < saving < 0.45
+    # ondemand trades CPU occupancy for power: Metronome's CPU is higher
+    # under ondemand than under performance (frequency stretch)
+    assert (by[("ondemand", "metronome", 1.0)][1]
+            > by[("performance", "metronome", 1.0)][1])
+    # polling DPDK always drives its core to max frequency: its power
+    # barely depends on the governor
+    for gbps in (0.0, 10.0):
+        p_perf = by[("performance", "dpdk", gbps)][0]
+        p_ond = by[("ondemand", "dpdk", gbps)][0]
+        assert abs(p_perf - p_ond) / p_perf < 0.1

@@ -1,0 +1,50 @@
+"""Figure 14 + Table 4: coexistence with the ferret CPU-bound workload —
+static polling starves co-located work and loses throughput; Metronome
+shares cores with a ~10-25% ferret slowdown and no packet loss."""
+
+from bench_util import emit
+
+from repro.harness import paper_data
+from repro.harness.report import render_table
+from repro.harness.scenarios import ferret_coexistence
+
+
+def _run():
+    return ferret_coexistence(ferret_work_ms=150, throughput_ms=300)
+
+
+def test_fig14_table4_ferret(benchmark):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+    slow_dpdk = r.ferret_with_dpdk_ms / r.ferret_alone_ms
+    slow_met = r.ferret_with_metronome_ms / r.ferret_alone_ms
+    emit(
+        "fig14_table4",
+        render_table(
+            "Figure 14 / Table 4 — coexistence with ferret",
+            ["metric", "measured", "paper"],
+            [
+                ("ferret alone (ms)", r.ferret_alone_ms, "-"),
+                ("ferret + static DPDK slowdown", slow_dpdk,
+                 paper_data.FERRET_SLOWDOWN_WITH_POLLING),
+                ("ferret + Metronome slowdown", slow_met,
+                 paper_data.FERRET_SLOWDOWN_WITH_METRONOME),
+                ("DPDK shared throughput (Mpps)", r.dpdk_shared_mpps,
+                 paper_data.TABLE4["dpdk_static_shared"]),
+                ("Metronome shared throughput (Mpps)", r.metronome_shared_mpps,
+                 paper_data.TABLE4["metronome_shared"]),
+                ("Metronome shared loss (%)", r.metronome_shared_loss_pct, 0),
+            ],
+            note="static-DPDK case runs both tasks at nice 0 "
+                 "(see EXPERIMENTS.md)",
+        ),
+    )
+    # Figure 14: polling DPDK at least doubles ferret's runtime;
+    # Metronome costs it far less
+    assert slow_dpdk > 1.8
+    assert slow_met < 1.45
+    assert slow_met < 0.75 * slow_dpdk
+    # Table 4: static DPDK sharing a core cannot keep line rate ...
+    assert r.dpdk_shared_mpps < 9.0
+    # ... Metronome forwards at line rate with no loss
+    assert r.metronome_shared_mpps > 14.5
+    assert r.metronome_shared_loss_pct < 0.5

@@ -1,0 +1,51 @@
+"""Figure 2: CPU usage and energy of Metronome loops with each sleep
+service (no traffic, fixed 20/100 us timeouts, 1-6 threads)."""
+
+from bench_util import emit
+
+from repro.harness.report import render_table
+from repro.harness.scenarios import fig2_cpu_energy
+
+ITERATIONS = 20_000
+
+
+def _run():
+    return fig2_cpu_energy(iterations=ITERATIONS)
+
+
+def test_fig2_cpu_energy(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        (p.service, p.timeout_us, p.threads, p.cpu_seconds * 1e3,
+         p.energy_j, p.wall_seconds)
+        for p in points
+    ]
+    emit(
+        "fig2",
+        render_table(
+            "Figure 2 — CPU (ms) and energy (J) for 20k-iteration loops",
+            ["service", "timeout us", "threads", "cpu ms", "energy J", "wall s"],
+            rows,
+            note="paper runs 1M iterations; shapes (ratios) are the target",
+        ),
+    )
+    index = {(p.service, p.timeout_us, p.threads): p for p in points}
+    for timeout in (20, 100):
+        for m in (1, 3, 6):
+            ns = index[("nanosleep", timeout, m)]
+            hr = index[("hr_sleep", timeout, m)]
+            # Figure 2a: hr_sleep uses substantially less CPU
+            assert hr.cpu_seconds < 0.6 * ns.cpu_seconds
+            # Figure 2b: and substantially less energy
+            assert hr.energy_j < 0.8 * ns.energy_j
+    # maximal relative CPU gain at the 20 us (finer) timeout
+    gain20 = (index[("nanosleep", 20, 3)].cpu_seconds
+              / index[("hr_sleep", 20, 3)].cpu_seconds)
+    assert gain20 > 2.0
+    # energy at 20 us: "consumes a third of the energy" (±)
+    ratio = (index[("hr_sleep", 20, 3)].energy_j
+             / index[("nanosleep", 20, 3)].energy_j)
+    assert ratio < 0.55
+    # CPU scales roughly linearly with thread count
+    assert (index[("hr_sleep", 20, 6)].cpu_seconds
+            > 4 * index[("hr_sleep", 20, 1)].cpu_seconds)

@@ -1,0 +1,31 @@
+"""Figure 6: latency and CPU usage versus the target vacation period V̄,
+for several traffic volumes — the latency/CPU trade-off knob."""
+
+from bench_util import emit
+
+from repro.harness.report import render_table
+from repro.harness.scenarios import fig6_latency_cpu
+
+
+def _run():
+    return fig6_latency_cpu(duration_ms=80)
+
+
+def test_fig6_latency_cpu_vs_v(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "fig6",
+        render_table(
+            "Figure 6 — latency and CPU vs target V̄",
+            ["gbps", "V̄ us", "mean latency us", "p99 us", "cpu"],
+            rows,
+        ),
+    )
+    by = {(g, v): (lat, p99, cpu) for g, v, lat, p99, cpu in rows}
+    for gbps in (1.0, 5.0, 10.0):
+        # longer target vacation -> lower CPU ...
+        assert by[(gbps, 20)][2] < by[(gbps, 5)][2]
+        # ... but higher latency (the paper's trade-off)
+        assert by[(gbps, 20)][0] > by[(gbps, 5)][0]
+    # CPU increases with offered load at fixed V̄
+    assert by[(10.0, 10)][2] > by[(1.0, 10)][2]

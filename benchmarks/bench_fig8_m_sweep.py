@@ -1,0 +1,35 @@
+"""Figure 8: busy tries and CPU usage versus the number of Metronome
+threads M at line rate — excessive parallelism is useless."""
+
+from bench_util import emit
+
+from repro.harness.report import render_table
+from repro.harness.scenarios import fig8_m_sweep
+
+
+def _run():
+    return fig8_m_sweep(duration_ms=80)
+
+
+def test_fig8_m_sweep(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "fig8",
+        render_table(
+            "Figure 8 — busy tries and CPU vs M (line rate)",
+            ["M", "busy-try fraction", "cpu"],
+            rows,
+        ),
+    )
+    by_m = {m: (bt, cpu) for m, bt, cpu in rows}
+    # busy-try fraction grows with M (the paper: "increases linearly")
+    assert by_m[8][0] > by_m[4][0] > by_m[2][0]
+    # CPU rises only slightly with M
+    assert by_m[8][1] - by_m[2][1] < 0.35
+    # correlation of busy tries with M is strongly positive
+    ms = [m for m, _b, _c in rows]
+    bts = [b for _m, b, _c in rows]
+    mean_m = sum(ms) / len(ms)
+    mean_b = sum(bts) / len(bts)
+    cov = sum((m - mean_m) * (b - mean_b) for m, b in zip(ms, bts))
+    assert cov > 0

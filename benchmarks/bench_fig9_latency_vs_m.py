@@ -1,0 +1,35 @@
+"""Figure 9: latency versus the number of threads M — more threads mean
+more primary→backup switches and visibly worse latency, especially at
+high rate."""
+
+from bench_util import emit
+
+from repro.harness.report import render_table
+from repro.harness.scenarios import fig9_latency_vs_m
+
+
+def _run():
+    return fig9_latency_vs_m(duration_ms=80)
+
+
+def test_fig9_latency_vs_m(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_rows = [
+        (rate, m, b["median"], b["q1"], b["q3"], b["p99"], b["std"])
+        for rate, m, b in rows
+    ]
+    emit(
+        "fig9",
+        render_table(
+            "Figure 9 — latency (us) vs M",
+            ["rate Mpps", "M", "median", "q1", "q3", "p99", "std"],
+            table_rows,
+        ),
+    )
+    by = {(rate, m): b for rate, m, b in rows}
+    # 9a: at high rate, more threads push latency up
+    assert by[(14.0, 7)]["median"] > by[(14.0, 2)]["median"]
+    # 9b: at low rate the variance penalty is visible
+    assert by[(1.0, 7)]["std"] > by[(1.0, 2)]["std"] * 0.8
+    # tail grows with M at high rate
+    assert by[(14.0, 7)]["p99"] > by[(14.0, 3)]["p99"] * 0.9

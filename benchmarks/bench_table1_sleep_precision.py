@@ -1,0 +1,47 @@
+"""Table 1: sleep-period precision of nanosleep() vs hr_sleep().
+
+Regenerates the paper's Table 1 (mean and 99th percentile of measured
+sleep lengths for 1-200 us targets, SCHED_OTHER thread).
+"""
+
+from bench_util import emit
+
+from repro.harness import paper_data
+from repro.harness.report import render_table
+from repro.harness.scenarios import table1_sleep_precision
+
+SAMPLES = 20_000
+
+
+def _run():
+    return table1_sleep_precision(samples=SAMPLES)
+
+
+def test_table1_sleep_precision(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_rows = []
+    for service, target, mean, p99 in rows:
+        pm, pp = paper_data.TABLE1[(service, target)]
+        table_rows.append((service, target, mean, pm, p99, pp))
+    emit(
+        "table1",
+        render_table(
+            "Table 1 — measured sleep period (us)",
+            ["service", "target us", "mean", "paper mean", "99p", "paper 99p"],
+            table_rows,
+            note=f"{SAMPLES} samples per point (paper: 1M)",
+        ),
+    )
+    by_key = {(s, t): (m, p) for s, t, m, p in rows}
+    for target in (1, 5, 10, 50, 100, 200):
+        hr_mean = by_key[("hr_sleep", target)][0]
+        ns_mean = by_key[("nanosleep", target)][0]
+        # headline claim: hr_sleep is far more precise at fine grain
+        assert hr_mean < ns_mean
+        paper_mean = paper_data.TABLE1[("hr_sleep", target)][0]
+        assert abs(hr_mean - paper_mean) / paper_mean < 0.15
+        paper_mean = paper_data.TABLE1[("nanosleep", target)][0]
+        assert abs(ns_mean - paper_mean) / paper_mean < 0.15
+    # the paper's 15x figure: precision gain at 1 us grain
+    gain = (by_key[("nanosleep", 1)][0] - 1) / (by_key[("hr_sleep", 1)][0] - 1)
+    assert gain > 10

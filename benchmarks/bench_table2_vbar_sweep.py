@@ -1,0 +1,49 @@
+"""Table 2: mean busy/vacation periods, N_V and loss vs target V̄ at
+line rate (14.88 Mpps, 64B packets)."""
+
+from bench_util import emit
+
+from repro.harness import paper_data
+from repro.harness.report import render_table
+from repro.harness.scenarios import table2_vbar_sweep
+
+DURATION_MS = 120
+
+
+def _run():
+    return table2_vbar_sweep(duration_ms=DURATION_MS)
+
+
+def test_table2_vbar_sweep(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_rows = []
+    for vbar, v, b, nv, loss in rows:
+        pv, pb, pnv, ploss = paper_data.TABLE2[vbar]
+        table_rows.append((vbar, v, pv, b, pb, nv, pnv, loss, ploss))
+    emit(
+        "table2",
+        render_table(
+            "Table 2 — V̄ sweep at line rate",
+            ["target V us", "V us", "paper", "B us", "paper",
+             "N_V", "paper", "loss permille", "paper"],
+            table_rows,
+        ),
+    )
+    by_vbar = {r[0]: r for r in rows}
+    # (essentially) no loss at the paper's operating point V̄ = 10 us:
+    # sub-0.02% — residual drops come from modelled kernel-daemon bursts
+    assert by_vbar[10][4] < 0.2
+    assert by_vbar[5][4] < 0.2
+    # losses appear as V̄ grows toward ring capacity
+    assert by_vbar[20][4] > by_vbar[10][4]
+    # measured V and N_V grow monotonically with the target
+    vs = [by_vbar[v][1] for v in (5, 10, 12, 15, 20)]
+    assert vs == sorted(vs)
+    # quantitative proximity to the paper on the headline row (V̄=10)
+    _, v, b, nv, _loss = by_vbar[10]
+    assert abs(v - 19.55) / 19.55 < 0.25
+    assert abs(b - 20.24) / 20.24 < 0.25
+    assert abs(nv - 287.77) / 287.77 < 0.25
+    # eq. (3) self-consistency: B ≈ V·ρ/(1−ρ) with ρ = B/(V+B)
+    rho = b / (v + b)
+    assert abs(b - v * rho / (1 - rho)) / b < 0.1

@@ -1,0 +1,44 @@
+"""Table 3: packet loss when Metronome runs on nanosleep() instead of
+hr_sleep(), for several ring sizes — adaptive packet retrieval on
+nanosleep is not feasible at 10 Gbps."""
+
+from bench_util import emit
+
+from repro.harness import paper_data
+from repro.harness.report import render_table
+from repro.harness.scenarios import table3_nanosleep_loss
+
+
+def _run():
+    return table3_nanosleep_loss(duration_ms=120)
+
+
+def test_table3_nanosleep_loss(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table_rows = []
+    for ring, vbar, ns_loss, hr_loss in rows:
+        paper_loss = paper_data.TABLE3[(ring, vbar)]
+        table_rows.append((ring, vbar, ns_loss, paper_loss, hr_loss))
+    emit(
+        "table3",
+        render_table(
+            "Table 3 — nanosleep-in-Metronome loss at 10 Gbps (%)",
+            ["ring", "V̄ us", "nanosleep loss %", "paper %", "hr_sleep loss %"],
+            table_rows,
+            note="paper reports hr_sleep achieves no loss in all scenarios",
+        ),
+    )
+    by = {(ring, vbar): (ns, hr) for ring, vbar, ns, hr in rows}
+    # headline: substantial loss with nanosleep at the default ring
+    assert by[(1024, 10)][0] > 1.0
+    # hr_sleep loses (essentially) nothing in every scenario
+    for (_ring, _vbar), (_ns, hr) in by.items():
+        assert hr < 0.05
+    # bigger rings reduce nanosleep loss.  Divergence note: in our model
+    # a 4096 ring fully covers the ~68us nanosleep-stretched vacation
+    # (λ·V ≈ 1020 descriptors), so the loss vanishes, while the paper
+    # still measures ~3.9% — testbed effects outside the model (see
+    # EXPERIMENTS.md).  The feasibility claim (nanosleep unusable at the
+    # default configuration, hr_sleep lossless) is what we assert.
+    assert by[(4096, 10)][0] < by[(1024, 10)][0]
+    assert by[(4096, 1)][0] <= by[(4096, 10)][0]

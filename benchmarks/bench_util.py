@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench renders its table(s) with paper-vs-measured columns, prints
+them, and archives them under ``benchmarks/results/`` so EXPERIMENTS.md
+can be assembled from the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and archive it to results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+
+
+def rel_err(measured: float, paper: float) -> float:
+    """Relative error vs the paper's value (0 when paper value is 0)."""
+    if paper == 0:
+        return 0.0
+    return (measured - paper) / paper

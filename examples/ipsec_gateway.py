@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The IPsec security gateway under Metronome (paper §5.7).
+
+Runs the ESP tunnel gateway at its measured ceiling (5.61 Mpps) under
+both static DPDK polling and Metronome, demonstrating the paper's
+finding: identical throughput (one Metronome thread effectively owns
+the queue at saturation) with the CPU advantage reappearing at lower
+rates.  Also round-trips a few sampled packets through the real
+AES-128-CBC pipeline to show the datapath is functionally genuine.
+
+Run:  python examples/ipsec_gateway.py
+"""
+
+from repro import config
+from repro.apps.ipsec import IpsecGatewayApp
+from repro.harness.experiment import run_dpdk, run_metronome
+
+
+def build_gateway() -> IpsecGatewayApp:
+    gw = IpsecGatewayApp()
+    gw.protect_everything(spi=5)
+    return gw
+
+
+def main() -> None:
+    print("functional check: ESP encapsulation round-trip")
+    gw = build_gateway()
+    from repro.nic.flows import FlowSet
+
+    flows = FlowSet(num_flows=4)
+    for flow_id in range(4):
+        header = flows.header_of_flow(flow_id)
+        datagram = gw.encapsulate(header)
+        spi, plaintext = gw.decapsulate(datagram)
+        assert spi == 5 and plaintext == gw.synth_payload(header)
+        print(f"  flow {flow_id}: ESP len={len(datagram):3d}B  "
+              f"seq={gw.sas[0].seq}  decrypts OK")
+
+    for rate_mpps in (1.4, 2.8, 5.61):
+        pps = int(rate_mpps * 1e6)
+        met = run_metronome(pps, duration_ms=80, app=build_gateway(),
+                            cfg=config.SimConfig())
+        dpdk = run_dpdk(pps, duration_ms=80, app=build_gateway(),
+                        cfg=config.SimConfig())
+        print(f"\noffered {rate_mpps:5.2f} Mpps")
+        print(f"  metronome: {met.throughput_mpps:5.2f} Mpps  "
+              f"cpu {met.cpu_utilization * 100:5.1f}%  "
+              f"loss {met.loss_fraction * 100:.2f}%")
+        print(f"  dpdk     : {dpdk.throughput_mpps:5.2f} Mpps  "
+              f"cpu {dpdk.cpu_utilization * 100:5.1f}%  "
+              f"loss {dpdk.loss_fraction * 100:.2f}%")
+    print("\nAt the 5.61 Mpps ceiling one Metronome thread never releases")
+    print("the trylock (paper Fig. 15a): CPU converges to the static cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -1,0 +1,66 @@
+"""Metronome (CoNEXT 2020) — a full reproduction in simulated time.
+
+Faltelli, Belocchi, Quaglia, Pontarelli, Bianchi: *Metronome: adaptive
+and precise intermittent packet retrieval in DPDK*, CoNEXT 2020.
+
+The package layers (bottom-up):
+
+* :mod:`repro.sim` — discrete-event engine (integer-ns clock).
+* :mod:`repro.kernel` — the OS model: CFS-like scheduler, hrtimers,
+  timer wheel, cpuidle, the two sleep services (``nanosleep`` /
+  ``hr_sleep``), frequency governors, RAPL-like energy metering.
+* :mod:`repro.nic` — traffic sources, descriptor rings, Rx/Tx queues.
+* :mod:`repro.dpdk` — the poll-mode layer (mbufs, the Listing-1 lcore).
+* :mod:`repro.core` — **Metronome itself**: trylock queue sharing,
+  renewal cycles, the ρ estimator and adaptive T_S rule, the analytical
+  model of §4.
+* :mod:`repro.apps` — l3fwd (real LPM), ipsec-secgw (real AES-128-CBC),
+  FloWatcher, and the ferret interference workload.
+* :mod:`repro.xdp` — the interrupt-driven NAPI/XDP baseline.
+* :mod:`repro.metrics` / :mod:`repro.harness` — instrumentation and
+  per-experiment scenario builders.
+
+Quickstart::
+
+    from repro import run_metronome, LINE_RATE_PPS
+    result = run_metronome(LINE_RATE_PPS, duration_ms=100)
+    print(result.cpu_utilization, result.latency.mean())
+
+See README.md, DESIGN.md and EXPERIMENTS.md.
+"""
+
+from repro.config import LINE_RATE_PPS, SimConfig
+from repro.core.metronome import MetronomeGroup
+from repro.core.tuning import AdaptiveTuner, FixedTuner
+from repro.harness.experiment import (
+    DpdkRunResult,
+    MetronomeRunResult,
+    XdpRunResult,
+    run_dpdk,
+    run_metronome,
+    run_xdp,
+)
+from repro.kernel.machine import Machine
+from repro.nic.traffic import CbrProcess, PoissonProcess, RampProfile, gbps_to_pps
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "LINE_RATE_PPS",
+    "Machine",
+    "MetronomeGroup",
+    "AdaptiveTuner",
+    "FixedTuner",
+    "run_metronome",
+    "run_dpdk",
+    "run_xdp",
+    "MetronomeRunResult",
+    "DpdkRunResult",
+    "XdpRunResult",
+    "CbrProcess",
+    "PoissonProcess",
+    "RampProfile",
+    "gbps_to_pps",
+    "__version__",
+]

@@ -1,0 +1,164 @@
+"""A two-choice cuckoo hash table (DPDK ``rte_hash`` style).
+
+DPDK's exact-match l3fwd mode keys a cuckoo hash table on the 5-tuple;
+this is the same design: two candidate buckets per key (the second
+derived from the first plus the short signature), 8-entry buckets, and
+BFS displacement on insertion.  Lookups probe at most two buckets —
+constant time, the property the l3fwd EM datapath relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Iterator, List, Optional, Tuple
+
+_MASK64 = (1 << 64) - 1
+
+
+def _hash_key(key: Hashable) -> int:
+    """Stable 64-bit hash of a key (tuple of ints in the fast path)."""
+    if isinstance(key, tuple):
+        h = 0xCBF29CE484222325
+        for part in key:
+            if not isinstance(part, int):
+                part = hash(part)
+            h ^= part & _MASK64
+            h = (h * 0x100000001B3) & _MASK64
+    else:
+        h = hash(key) & _MASK64
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return h ^ (h >> 31)
+
+
+class _Entry:
+    __slots__ = ("key", "value", "signature")
+
+    def __init__(self, key: Hashable, value: Any, signature: int):
+        self.key = key
+        self.value = value
+        self.signature = signature
+
+
+class CuckooHash:
+    """Fixed-capacity two-choice cuckoo table with 8-slot buckets."""
+
+    BUCKET_SLOTS = 8
+    MAX_DISPLACEMENTS = 200
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < self.BUCKET_SLOTS:
+            raise ValueError("capacity too small")
+        # round buckets up to a power of two for mask indexing
+        buckets = 1
+        while buckets * self.BUCKET_SLOTS < capacity:
+            buckets <<= 1
+        self._mask = buckets - 1
+        self._buckets: List[List[_Entry]] = [[] for _ in range(buckets)]
+        self.size = 0
+        self.capacity = buckets * self.BUCKET_SLOTS
+
+    # ------------------------------------------------------------------ #
+
+    def _positions(self, key: Hashable) -> Tuple[int, int, int]:
+        h = _hash_key(key)
+        sig = (h >> 48) & 0xFFFF or 1
+        primary = h & self._mask
+        # rte_hash: the alternative bucket is derived from the primary
+        # index and the signature, so it is computable from either side
+        secondary = (primary ^ (sig * 0x5BD1E995)) & self._mask
+        return primary, secondary, sig
+
+    def _find(self, key: Hashable) -> Optional[Tuple[int, int]]:
+        primary, secondary, sig = self._positions(key)
+        for b in (primary, secondary):
+            bucket = self._buckets[b]
+            for i, entry in enumerate(bucket):
+                if entry.signature == sig and entry.key == key:
+                    return b, i
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Constant-time lookup: probes at most two buckets."""
+        pos = self._find(key)
+        if pos is None:
+            return default
+        b, i = pos
+        return self._buckets[b][i].value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self._find(key) is not None
+
+    def __len__(self) -> int:
+        return self.size
+
+    def insert(self, key: Hashable, value: Any) -> None:
+        """Insert or update.  Raises RuntimeError when the table cannot
+        accommodate the key even after displacement (load too high)."""
+        pos = self._find(key)
+        if pos is not None:
+            b, i = pos
+            self._buckets[b][i].value = value
+            return
+        primary, secondary, sig = self._positions(key)
+        entry = _Entry(key, value, sig)
+        for b in (primary, secondary):
+            if len(self._buckets[b]) < self.BUCKET_SLOTS:
+                self._buckets[b].append(entry)
+                self.size += 1
+                return
+        if self._displace(primary, entry):
+            self.size += 1
+            return
+        raise RuntimeError(
+            f"cuckoo table full (size={self.size}/{self.capacity})"
+        )
+
+    def _displace(self, start_bucket: int, entry: _Entry) -> bool:
+        """BFS through displacement chains for a free slot."""
+        # each queue item: (bucket, path) where path is [(bucket, slot)...]
+        seen = {start_bucket}
+        queue = deque([(start_bucket, [])])
+        while queue:
+            bucket_idx, path = queue.popleft()
+            if len(path) > self.MAX_DISPLACEMENTS:
+                break
+            bucket = self._buckets[bucket_idx]
+            for slot, victim in enumerate(bucket):
+                _vp, vs, _sig = self._positions(victim.key)
+                alt = vs if vs != bucket_idx else _vp
+                if len(self._buckets[alt]) < self.BUCKET_SLOTS:
+                    # free slot found: walk the path moving victims
+                    self._buckets[alt].append(victim)
+                    cursor = bucket
+                    cursor.pop(slot)
+                    for pb, ps in reversed(path):
+                        moved = self._buckets[pb].pop(ps)
+                        cursor.append(moved)
+                        cursor = self._buckets[pb]
+                    cursor.append(entry)
+                    return True
+                if alt not in seen:
+                    seen.add(alt)
+                    queue.append((alt, path + [(bucket_idx, slot)]))
+        return False
+
+    def delete(self, key: Hashable) -> bool:
+        """Remove a key; True if it was present."""
+        pos = self._find(key)
+        if pos is None:
+            return False
+        b, i = pos
+        self._buckets[b].pop(i)
+        self.size -= 1
+        return True
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        for bucket in self._buckets:
+            for entry in bucket:
+                yield entry.key, entry.value
+
+    def load_factor(self) -> float:
+        return self.size / self.capacity

@@ -1,0 +1,91 @@
+"""A PARSEC-ferret-like interference workload (§5.6).
+
+ferret is a CPU-intensive image-similarity-search pipeline; for the
+coexistence experiments all that matters is a SCHED_OTHER batch job with
+a fixed amount of CPU work whose completion time stretches under
+contention.  The workload splits its total work across ``num_workers``
+threads (ferret's pipeline stages) in millisecond-scale quanta, so the
+CFS scheduler interleaves it realistically with Metronome threads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernel.machine import Machine
+from repro.kernel.thread import Compute, Exit, KThread
+from repro.sim.units import MS
+
+
+class FerretWorkload:
+    """Fixed-work batch job spread over worker threads."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        total_work_ms: int = 2_000,
+        num_workers: int = 1,
+        cores: Optional[List[int]] = None,
+        nice: int = 19,
+        quantum_ns: int = 1 * MS,
+        name: str = "ferret",
+    ):
+        if total_work_ms <= 0:
+            raise ValueError("work must be positive")
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.machine = machine
+        self.total_work_ns = total_work_ms * MS
+        self.num_workers = num_workers
+        self.cores = cores if cores is not None else list(range(num_workers))
+        if len(self.cores) != num_workers:
+            raise ValueError("one core per worker required")
+        self.nice = nice
+        self.quantum_ns = quantum_ns
+        self.name = name
+        self.threads: List[KThread] = []
+        self.started_at: Optional[int] = None
+        self.finished_at: Optional[int] = None
+        self._remaining_workers = num_workers
+
+    def start(self) -> None:
+        if self.threads:
+            raise RuntimeError("workload already started")
+        self.started_at = self.machine.sim.now
+        share = self.total_work_ns // self.num_workers
+        for i in range(self.num_workers):
+            thread = self.machine.spawn(
+                lambda kt, work=share: self._body(kt, work),
+                name=f"{self.name}-{i}",
+                nice=self.nice,
+                core=self.cores[i],
+            )
+            self.threads.append(thread)
+
+    def _body(self, kt: KThread, work_ns: int):
+        remaining = work_ns
+        quantum = self.quantum_ns
+        while remaining > 0:
+            chunk = min(quantum, remaining)
+            yield Compute(chunk)
+            remaining -= chunk
+        self._remaining_workers -= 1
+        if self._remaining_workers == 0:
+            self.finished_at = self.machine.sim.now
+        yield Exit()
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    def elapsed_ms(self) -> float:
+        """Wall-clock completion time of the whole job."""
+        if self.started_at is None or self.finished_at is None:
+            raise RuntimeError("workload not finished")
+        return (self.finished_at - self.started_at) / MS
+
+    def slowdown_vs(self, baseline_ms: float) -> float:
+        """Completion-time ratio against an uncontended run."""
+        if baseline_ms <= 0:
+            raise ValueError("baseline must be positive")
+        return self.elapsed_ms() / baseline_ms

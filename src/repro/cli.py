@@ -1,0 +1,353 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+::
+
+    python -m repro list
+    python -m repro run table1 --fast
+    python -m repro run fig12 --seed 7
+    python -m repro quickstart
+
+Each experiment prints the same table its benchmark archives; ``--fast``
+cuts durations ~4x for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro import config
+from repro.harness import extensions, scenarios
+from repro.harness.report import render_table
+
+
+def _table1(duration_scale: float, seed: int) -> str:
+    from repro.harness.paper_data import TABLE1
+
+    rows = scenarios.table1_sleep_precision(
+        samples=max(500, int(10_000 * duration_scale)), seed=seed)
+    table = [
+        (s, t, m, TABLE1[(s, t)][0], p, TABLE1[(s, t)][1])
+        for s, t, m, p in rows
+    ]
+    return render_table(
+        "Table 1 — sleep precision (us)",
+        ["service", "target", "mean", "paper", "99p", "paper"],
+        table,
+    )
+
+
+def _table2(duration_scale: float, seed: int) -> str:
+    from repro.harness.paper_data import TABLE2
+
+    rows = scenarios.table2_vbar_sweep(
+        duration_ms=max(20, int(100 * duration_scale)), seed=seed)
+    table = [
+        (v, mv, TABLE2[v][0], b, TABLE2[v][1], nv, TABLE2[v][2], loss)
+        for v, mv, b, nv, loss in rows
+    ]
+    return render_table(
+        "Table 2 — V̄ sweep at line rate",
+        ["target V", "V us", "paper", "B us", "paper", "N_V", "paper",
+         "loss permille"],
+        table,
+    )
+
+
+def _table3(duration_scale: float, seed: int) -> str:
+    rows = scenarios.table3_nanosleep_loss(
+        duration_ms=max(20, int(100 * duration_scale)), seed=seed)
+    return render_table(
+        "Table 3 — nanosleep loss at 10 Gbps (%)",
+        ["ring", "V̄ us", "nanosleep %", "hr_sleep %"],
+        rows,
+    )
+
+
+def _fig2(duration_scale: float, seed: int) -> str:
+    points = scenarios.fig2_cpu_energy(
+        iterations=max(1000, int(10_000 * duration_scale)), seed=seed)
+    return render_table(
+        "Figure 2 — CPU / energy per sleep service",
+        ["service", "timeout us", "threads", "cpu ms", "energy J"],
+        [(p.service, p.timeout_us, p.threads, p.cpu_seconds * 1e3,
+          p.energy_j) for p in points],
+    )
+
+
+def _fig5(duration_scale: float, seed: int) -> str:
+    series = scenarios.fig5_vacation_pdf(
+        duration_ms=max(50, int(250 * duration_scale)), seed=seed)
+    rows = []
+    for s in series:
+        for i in range(0, len(s.bin_centers_us), 5):
+            rows.append((s.m, s.bin_centers_us[i], s.empirical_density[i],
+                         s.model_density[i]))
+    return render_table(
+        "Figure 5 — vacation PDF: simulation vs eq. (9)",
+        ["M", "V us", "empirical", "model"],
+        rows,
+    )
+
+
+def _fig6(duration_scale: float, seed: int) -> str:
+    rows = scenarios.fig6_latency_cpu(
+        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+    return render_table(
+        "Figure 6 — latency & CPU vs V̄",
+        ["gbps", "V̄ us", "mean lat us", "p99 us", "cpu"],
+        rows,
+    )
+
+
+def _fig7(duration_scale: float, seed: int) -> str:
+    rows = scenarios.fig7_tl_sweep(
+        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+    return render_table("Figure 7 — T_L sweep",
+                        ["T_L us", "busy tries", "cpu"], rows)
+
+
+def _fig8(duration_scale: float, seed: int) -> str:
+    rows = scenarios.fig8_m_sweep(
+        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+    return render_table("Figure 8 — M sweep",
+                        ["M", "busy tries", "cpu"], rows)
+
+
+def _fig9(duration_scale: float, seed: int) -> str:
+    rows = scenarios.fig9_latency_vs_m(
+        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+    return render_table(
+        "Figure 9 — latency vs M",
+        ["rate Mpps", "M", "median us", "p99 us", "std us"],
+        [(r, m, b["median"], b["p99"], b["std"]) for r, m, b in rows],
+    )
+
+
+def _fig10(duration_scale: float, seed: int) -> str:
+    rows = scenarios.fig10_latency_boxplots(
+        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+    return render_table(
+        "Figure 10 — latency: hr_sleep vs nanosleep",
+        ["service", "gbps", "V̄ us", "median us", "q3 us"],
+        [(s, g, v, b["median"], b["q3"]) for s, g, v, b in rows],
+    )
+
+
+def _fig11(duration_scale: float, seed: int) -> str:
+    result = scenarios.fig11_adaptation(
+        duration_s=max(0.5, 3.0 * duration_scale), seed=seed)
+    s = result.series
+    rows = []
+    offered = s.get("offered_mpps")
+    step = max(1, len(offered) // 15)
+    for i in range(0, len(offered), step):
+        rows.append((
+            offered[i][0] / 1e9,
+            offered[i][1],
+            s.get("delivered_mpps")[i][1],
+            s.get("ts_us")[i][1],
+            s.get("rho")[i][1],
+        ))
+    from repro.harness.ascii_chart import resample, sparkline
+
+    table = render_table(
+        "Figure 11 — adaptation over the ramp",
+        ["t s", "offered Mpps", "delivered", "T_S us", "rho"],
+        rows,
+    )
+    extras = "\n".join(
+        f"  {name:8s} {sparkline(resample(s.values(key), 60))}"
+        for name, key in (("offered", "offered_mpps"), ("T_S", "ts_us"),
+                          ("rho", "rho"), ("cpu", "cpu"))
+    )
+    return table + "\n\ntrajectories:\n" + extras
+
+
+def _fig12(duration_scale: float, seed: int) -> str:
+    rows = scenarios.fig12_compare(
+        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+    return render_table(
+        "Figure 12 — Metronome vs DPDK vs XDP",
+        ["system", "gbps", "mean lat us", "p99 us", "cpu", "loss %"],
+        rows,
+    )
+
+
+def _fig13(duration_scale: float, seed: int) -> str:
+    rows = scenarios.fig13_power_governors(
+        duration_ms=max(20, int(80 * duration_scale)), seed=seed)
+    return render_table(
+        "Figure 13 — power vs rate per governor",
+        ["governor", "system", "gbps", "watts", "cpu"],
+        rows,
+    )
+
+
+def _fig14(duration_scale: float, seed: int) -> str:
+    r = scenarios.ferret_coexistence(
+        ferret_work_ms=max(40, int(150 * duration_scale)),
+        throughput_ms=max(60, int(300 * duration_scale)),
+        seed=seed,
+    )
+    return render_table(
+        "Figure 14 / Table 4 — ferret coexistence",
+        ["metric", "value"],
+        [
+            ("ferret alone ms", r.ferret_alone_ms),
+            ("+static DPDK slowdown", r.ferret_with_dpdk_ms / r.ferret_alone_ms),
+            ("+Metronome slowdown",
+             r.ferret_with_metronome_ms / r.ferret_alone_ms),
+            ("DPDK shared Mpps", r.dpdk_shared_mpps),
+            ("Metronome shared Mpps", r.metronome_shared_mpps),
+        ],
+    )
+
+
+def _fig15(duration_scale: float, seed: int) -> str:
+    rows = scenarios.fig15_apps(
+        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+    return render_table(
+        "Figure 15 — IPsec & FloWatcher CPU",
+        ["app", "system", "rate Mpps", "cpu", "throughput"],
+        rows,
+    )
+
+
+def _rotation(duration_scale: float, seed: int) -> str:
+    r = extensions.role_rotation(
+        duration_ms=max(20, int(80 * duration_scale)), seed=seed)
+    rows = [(t, f"{v:.3f}") for t, v in sorted(r.share_by_thread.items())]
+    rows.append(("switches", r.switches))
+    return render_table("Figure 4 — role rotation", ["metric", "value"], rows)
+
+
+def _bidir(duration_scale: float, seed: int) -> str:
+    r = extensions.bidirectional_throughput(
+        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+    return render_table(
+        "§5.1 — bidirectional",
+        ["system", "Mpps/port", "cpu"],
+        [("metronome", r.metronome_mpps_per_port, r.metronome_cpu),
+         ("dpdk", r.dpdk_mpps_per_port, r.dpdk_cpu)],
+    )
+
+
+def _smt(duration_scale: float, seed: int) -> str:
+    r = extensions.smt_interference(
+        job_work_ms=max(15, int(60 * duration_scale)), seed=seed)
+    return render_table(
+        "Extension — SMT sibling interference",
+        ["sibling runs", "job ms", "slowdown"],
+        [("nothing", r["alone"], 1.0),
+         ("polling dpdk", r["dpdk_sibling"], r["dpdk_sibling"] / r["alone"]),
+         ("metronome", r["metronome_sibling"],
+          r["metronome_sibling"] / r["alone"])],
+    )
+
+
+def _pacing(duration_scale: float, seed: int) -> str:
+    rows = extensions.pacing_comparison(
+        count=max(50, int(300 * duration_scale)), seed=seed)
+    return render_table(
+        "Extension — sleep-based pacing",
+        ["service", "kpps", "rate error", "jitter us"],
+        rows,
+    )
+
+
+def _quickstart(duration_scale: float, seed: int) -> str:
+    from repro.harness.experiment import run_metronome
+
+    res = run_metronome(
+        config.LINE_RATE_PPS,
+        duration_ms=max(20, int(100 * duration_scale)),
+        cfg=config.SimConfig(seed=seed),
+    )
+    return render_table(
+        "Metronome @ 10 GbE line rate",
+        ["metric", "value"],
+        [
+            ("throughput Mpps", res.throughput_mpps),
+            ("loss %", res.loss_fraction * 100),
+            ("cpu", res.cpu_utilization),
+            ("mean latency us", res.latency.mean() / 1e3),
+            ("mean vacation us", res.mean_vacation_us),
+            ("rho", res.rho),
+            ("T_S us", res.ts_us),
+        ],
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[float, int], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "fig2": _fig2,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "rotation": _rotation,
+    "bidir": _bidir,
+    "pacing": _pacing,
+    "smt": _smt,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Metronome (CoNEXT 2020) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("quickstart", help="run Metronome at line rate")
+    sub.add_parser("validate", help="quick pass/fail check of the headline claims")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    run.add_argument("--fast", action="store_true",
+                     help="~4x shorter simulated durations")
+    qs = [p for p in sub.choices.values()]
+    for p in qs:
+        if p.prog.endswith("quickstart"):
+            p.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+            p.add_argument("--fast", action="store_true")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    scale = 0.25 if getattr(args, "fast", False) else 1.0
+    seed = getattr(args, "seed", config.DEFAULT_SEED)
+    if args.command == "validate":
+        from repro.harness.validate import run_validation
+
+        print("validating headline claims (abbreviated runs)...")
+        failures = run_validation()
+        print("all claims hold" if failures == 0
+              else f"{failures} claim(s) FAILED")
+        return 1 if failures else 0
+    if args.command == "quickstart":
+        print(_quickstart(scale, seed))
+        return 0
+    print(EXPERIMENTS[args.experiment](scale, seed))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

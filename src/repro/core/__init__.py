@@ -1,0 +1,51 @@
+"""Metronome: the paper's primary contribution.
+
+* :mod:`repro.core.trylock` — the CMPXCHG-based non-blocking queue lock.
+* :mod:`repro.core.cycles` — renewal-cycle accounting: vacation periods
+  V(i), busy periods B(i), N_V(i) (paper §4, Figure 3).
+* :mod:`repro.core.tuning` — the ρ EWMA estimator (eq. 10) and the
+  load-adaptive T_S rule (eqs. 11–12).
+* :mod:`repro.core.metronome` — the sleep&wake thread loop (Listing 2)
+  and :class:`MetronomeGroup`, which deploys M threads over shared Rx
+  queues.
+* :mod:`repro.core.model` — the closed-form analytical model
+  (eqs. 3–9, 12, 13), used both by the controller and for
+  model-vs-simulation validation (Figure 5).
+"""
+
+from repro.core.cycles import CycleRecord, CycleStats
+from repro.core.metronome import MetronomeGroup, MetronomeThreadStats
+from repro.core.model import (
+    busy_given_vacation,
+    cdf_vacation,
+    mean_vacation_general,
+    mean_vacation_general_exact,
+    mean_vacation_high_load,
+    mean_vacation_low_load,
+    pdf_vacation,
+    prob_backup_success,
+    rho_from_periods,
+    ts_for_target_vacation,
+)
+from repro.core.trylock import TryLock
+from repro.core.tuning import AdaptiveTuner, FixedTuner
+
+__all__ = [
+    "TryLock",
+    "CycleRecord",
+    "CycleStats",
+    "MetronomeGroup",
+    "MetronomeThreadStats",
+    "AdaptiveTuner",
+    "FixedTuner",
+    "busy_given_vacation",
+    "rho_from_periods",
+    "cdf_vacation",
+    "pdf_vacation",
+    "mean_vacation_high_load",
+    "mean_vacation_low_load",
+    "mean_vacation_general",
+    "mean_vacation_general_exact",
+    "prob_backup_success",
+    "ts_for_target_vacation",
+]

@@ -1,0 +1,122 @@
+"""Renewal-cycle accounting (paper §4, Figure 3).
+
+Metronome's timeline on each Rx queue alternates **vacation periods**
+V(i) — nobody holds the queue, arrivals pile up in the ring — and
+**busy periods** B(i) — the trylock winner drains the ring until empty.
+The tracker lives in the per-queue shared state: the winner reads the
+previous release timestamp to measure V(i), counts N_V(i) (the backlog
+found on arrival), and on release reports the completed cycle to the
+tuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """One completed renewal cycle on one queue."""
+
+    start_ns: int          # when the busy period began (lock acquired)
+    vacation_ns: int       # V(i): time the queue sat unattended before it
+    busy_ns: int           # B(i): lock hold time
+    n_vacation: int        # N_V(i): backlog found at acquisition
+    n_busy: int            # N_B(i): packets that arrived during service
+    thread_name: str       # who served it
+
+    @property
+    def total_ns(self) -> int:
+        return self.vacation_ns + self.busy_ns
+
+    @property
+    def utilization_sample(self) -> float:
+        """B/(V+B): the instantaneous ρ observation of eq. (4)."""
+        if self.total_ns == 0:
+            return 0.0
+        return self.busy_ns / self.total_ns
+
+
+class CycleStats:
+    """Aggregates cycle records for one queue (bounded memory optional)."""
+
+    def __init__(self, keep_records: bool = True, max_records: int = 2_000_000):
+        self.keep_records = keep_records
+        self.max_records = max_records
+        self.records: List[CycleRecord] = []
+        self.count = 0
+        self._sum_v = 0
+        self._sum_b = 0
+        self._sum_nv = 0
+
+    def add(self, record: CycleRecord) -> None:
+        self.count += 1
+        self._sum_v += record.vacation_ns
+        self._sum_b += record.busy_ns
+        self._sum_nv += record.n_vacation
+        if self.keep_records and len(self.records) < self.max_records:
+            self.records.append(record)
+
+    def mean_vacation_ns(self) -> float:
+        if self.count == 0:
+            raise ValueError("no cycles recorded")
+        return self._sum_v / self.count
+
+    def mean_busy_ns(self) -> float:
+        if self.count == 0:
+            raise ValueError("no cycles recorded")
+        return self._sum_b / self.count
+
+    def mean_n_vacation(self) -> float:
+        if self.count == 0:
+            raise ValueError("no cycles recorded")
+        return self._sum_nv / self.count
+
+    def vacations_ns(self) -> List[int]:
+        return [r.vacation_ns for r in self.records]
+
+
+class QueueCycleTracker:
+    """Per-queue shared state measuring V(i)/B(i)/N_V(i) on the fly."""
+
+    def __init__(self, start_ns: int = 0):
+        #: timestamp of the last lock release (end of last busy period)
+        self.last_release_ns: Optional[int] = start_ns
+        self._busy_start: Optional[int] = None
+        self._vacation: int = 0
+        self._n_vacation: int = 0
+        self._n_total: int = 0
+
+    def begin_busy(self, now: int, backlog: int) -> int:
+        """Winner acquired the lock; returns the measured vacation V(i)."""
+        if self._busy_start is not None:
+            raise RuntimeError("busy period already in progress")
+        self._busy_start = now
+        self._vacation = now - (self.last_release_ns or 0)
+        self._n_vacation = backlog
+        self._n_total = 0
+        return self._vacation
+
+    def note_packets(self, n: int) -> None:
+        """Record packets retrieved during the current busy period."""
+        if self._busy_start is None:
+            raise RuntimeError("no busy period in progress")
+        self._n_total += n
+
+    def end_busy(self, now: int, thread_name: str) -> CycleRecord:
+        """Lock released; returns the completed cycle record."""
+        if self._busy_start is None:
+            raise RuntimeError("no busy period in progress")
+        busy = now - self._busy_start
+        record = CycleRecord(
+            start_ns=self._busy_start,
+            vacation_ns=self._vacation,
+            busy_ns=busy,
+            n_vacation=self._n_vacation,
+            n_busy=max(0, self._n_total - self._n_vacation),
+            thread_name=thread_name,
+        )
+        self._busy_start = None
+        self.last_release_ns = now
+        return record

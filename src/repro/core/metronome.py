@@ -1,0 +1,223 @@
+"""The Metronome thread loop and group orchestration (paper §3.2, Listing 2).
+
+M threads share a set of Rx queues.  Each thread, in an infinite loop:
+
+1. scans every queue, attempting its trylock;
+2. on success, drains the queue burst-by-burst until empty, measuring
+   the renewal cycle (V, B, N_V) against the queue's shared tracker,
+   then releases the lock;
+3. sleeps — ``T_S`` if it served at least one queue this round
+   (primary), ``T_L`` otherwise (backup) — via the configured sleep
+   service (the paper's hr_sleep() or stock nanosleep()).
+
+The timeout values come from a tuner: fixed for the parameter-sweep
+experiments, or the adaptive eq.-12 controller targeting a constant
+vacation period V̄.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro import config
+from repro.core.cycles import CycleStats, QueueCycleTracker
+from repro.core.trylock import TryLock
+from repro.core.tuning import AdaptiveTuner, TunerBase
+from repro.dpdk.app import PacketApp
+from repro.kernel.machine import Machine
+from repro.kernel.sleep import SleepService
+from repro.kernel.thread import Compute, Exit, KThread
+from repro.metrics.latency import LatencyStats
+from repro.nic.rxqueue import RxQueue
+from repro.nic.txqueue import TxBuffer
+
+
+@dataclass
+class MetronomeThreadStats:
+    """Per-thread counters surfaced by the experiments."""
+
+    name: str
+    iterations: int = 0
+    busy_tries: int = 0
+    primary_rounds: int = 0    # rounds that ended with the short timeout
+    backup_rounds: int = 0     # rounds that ended with the long timeout
+    packets: int = 0
+
+
+class _SharedQueue:
+    """Everything M threads share about one Rx queue."""
+
+    def __init__(self, machine: Machine, queue: RxQueue, tx_batch: int):
+        self.queue = queue
+        self.lock = TryLock(name=f"rxq{queue.index}")
+        self.tracker = QueueCycleTracker(start_ns=machine.sim.now)
+        self.cycles = CycleStats()
+        self.txbuf = TxBuffer(machine.sim, batch_threshold=tx_batch)
+
+
+class MetronomeGroup:
+    """Deploys M Metronome threads over shared Rx queues."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        queues: List[RxQueue],
+        app: PacketApp,
+        tuner: Optional[TunerBase] = None,
+        sleep_service: str = "hr_sleep",
+        num_threads: Optional[int] = None,
+        cores: Optional[List[int]] = None,
+        nice: int = 0,
+        burst: Optional[int] = None,
+        tx_batch: Optional[int] = None,
+        iterations: Optional[int] = None,
+        flush_before_sleep: bool = False,
+        name: str = "metronome",
+    ):
+        if not queues:
+            raise ValueError("at least one queue required")
+        cfg = machine.cfg
+        self.machine = machine
+        self.app = app
+        self.m = num_threads if num_threads is not None else cfg.num_threads
+        if self.m < 1:
+            raise ValueError("need at least one thread")
+        self.cores = cores if cores is not None else list(range(self.m))
+        if len(self.cores) != self.m:
+            raise ValueError("one core assignment per thread required")
+        self.nice = nice
+        self.burst = burst if burst is not None else cfg.rx_burst
+        self.iterations = iterations
+        self.flush_before_sleep = flush_before_sleep
+        self.name = name
+        self.tuner: TunerBase = tuner or AdaptiveTuner(
+            vbar_ns=cfg.vbar_ns, tl_ns=cfg.tl_ns, m=self.m, alpha=cfg.alpha
+        )
+        tx_batch = tx_batch if tx_batch is not None else cfg.tx_batch
+        self.shared: List[_SharedQueue] = [
+            _SharedQueue(machine, q, tx_batch) for q in queues
+        ]
+        self.latency = LatencyStats()
+        for sq in self.shared:
+            sq.txbuf.on_tx = lambda pkt: self.latency.add(pkt.latency_ns)
+        self.service: SleepService = machine.sleep_service(sleep_service)
+        self.threads: List[KThread] = []
+        self.thread_stats: List[MetronomeThreadStats] = []
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> List[KThread]:
+        """Spawn the M threads (idempotent guard: call once)."""
+        if self.threads:
+            raise RuntimeError("group already started")
+        for i in range(self.m):
+            stats = MetronomeThreadStats(name=f"{self.name}-{i}")
+            self.thread_stats.append(stats)
+            thread = self.machine.spawn(
+                lambda kt, s=stats: self._body(kt, s),
+                name=stats.name,
+                nice=self.nice,
+                core=self.cores[i],
+            )
+            self.threads.append(thread)
+        return self.threads
+
+    # ------------------------------------------------------------------ #
+
+    def _body(self, kt: KThread, stats: MetronomeThreadStats):
+        sim = self.machine.sim
+        service = self.service
+        while self.iterations is None or stats.iterations < self.iterations:
+            stats.iterations += 1
+            lock_taken = False
+            for sq in self.shared:
+                yield Compute(config.TRYLOCK_NS)
+                if not sq.lock.try_acquire(kt):
+                    stats.busy_tries += 1
+                    yield Compute(
+                        config.TRYLOCK_CONTENDED_NS - config.TRYLOCK_NS
+                    )
+                    continue
+                lock_taken = True
+                backlog = sq.queue.occupancy()
+                sq.tracker.begin_busy(sim.now, backlog)
+                while True:
+                    n, tagged = sq.queue.rx_burst(self.burst)
+                    if n == 0:
+                        # the final poll that finds the queue drained
+                        yield Compute(config.RX_POLL_EMPTY_NS)
+                        break
+                    stats.packets += n
+                    sq.tracker.note_packets(n)
+                    will_flush = (
+                        sq.txbuf.pending + n >= sq.txbuf.batch_threshold
+                    )
+                    cost = config.RX_BURST_FIXED_NS + self.app.batch_cost_ns(n)
+                    if will_flush:
+                        cost += config.TX_FLUSH_NS
+                    yield Compute(cost)
+                    self.app.handle(tagged)
+                    sq.txbuf.enqueue(n, tagged)
+                if self.flush_before_sleep and sq.txbuf.pending:
+                    sq.txbuf.flush()
+                    yield Compute(config.TX_FLUSH_NS)
+                record = sq.tracker.end_busy(sim.now, stats.name)
+                sq.cycles.add(record)
+                self.tuner.observe(record)
+                yield Compute(config.UNLOCK_NS)
+                sq.lock.release(kt)
+
+            if lock_taken:
+                stats.primary_rounds += 1
+                timeout = self.tuner.ts_ns()
+            else:
+                stats.backup_rounds += 1
+                timeout = self.tuner.tl_ns()
+            yield from service.call(kt, timeout)
+        yield Exit()
+
+    # ------------------------------------------------------------------ #
+    # aggregate statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def busy_tries(self) -> int:
+        return sum(s.busy_tries for s in self.thread_stats)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(s.iterations for s in self.thread_stats)
+
+    @property
+    def total_packets(self) -> int:
+        return sum(s.packets for s in self.thread_stats)
+
+    def busy_try_fraction(self) -> float:
+        """Failed trylocks / wake rounds — the Figures 7-8 metric."""
+        rounds = self.total_iterations
+        if rounds == 0:
+            return 0.0
+        return self.busy_tries / rounds
+
+    def cycle_stats(self, queue_index: int = 0) -> CycleStats:
+        return self.shared[queue_index].cycles
+
+    def total_drops(self) -> int:
+        return sum(sq.queue.drops for sq in self.shared)
+
+    def loss_fraction(self) -> float:
+        arrived = 0
+        for sq in self.shared:
+            sq.queue.sync()
+            arrived += sq.queue.arrived_total
+        if arrived == 0:
+            return 0.0
+        return self.total_drops() / arrived
+
+    def cpu_time_ns(self) -> int:
+        """getrusage-style CPU time of the group's threads."""
+        return sum(t.cputime_ns for t in self.threads)
+
+    def all_done(self) -> bool:
+        return all(not t.is_alive() for t in self.threads)

@@ -1,0 +1,204 @@
+"""Metronome's analytical model (paper §4.2, §4.3, Appendix C).
+
+All formulas take times in any consistent unit (the library uses ns) and
+are pure functions, so the same code drives both the runtime controller
+(:mod:`repro.core.tuning`) and the model-vs-simulation validation bench
+(Figure 5).
+
+Equation map:
+
+* eq. (3)  → :func:`busy_given_vacation`
+* eq. (4)  → :func:`rho_from_periods`
+* eq. (5)  → :func:`cdf_vacation`
+* eq. (6)  → :func:`mean_vacation_high_load`
+* eq. (7)  → :func:`prob_backup_success`
+* eq. (8)  → :func:`cdf_vacation` with ``tl == ts`` and M competitors
+* eq. (9)  → :func:`pdf_vacation`
+* eq. (12) → :func:`ts_for_target_vacation`
+* eq. (13) → :func:`mean_vacation_general`
+* Appendix C exact integral → :func:`mean_vacation_general_exact`
+"""
+
+from __future__ import annotations
+
+
+def _check_common(ts: float, tl: float, m: int) -> None:
+    if ts <= 0 or tl <= 0:
+        raise ValueError("timeouts must be positive")
+    if tl < ts:
+        raise ValueError("T_L must be >= T_S")
+    if m < 1:
+        raise ValueError("M must be >= 1")
+
+
+def busy_given_vacation(vacation: float, rho: float) -> float:
+    """E[B|V] = V·ρ/(1−ρ)  (eq. 3).
+
+    The mean busy period needed to drain what accumulated during a
+    vacation of length V plus what keeps arriving meanwhile; requires a
+    stable system (ρ < 1).
+    """
+    if not 0 <= rho < 1:
+        raise ValueError(f"rho={rho} must be in [0, 1)")
+    return vacation * rho / (1.0 - rho)
+
+
+def rho_from_periods(busy: float, vacation: float) -> float:
+    """ρ = B/(V+B)  (eq. 4): the observable load estimate."""
+    if busy < 0 or vacation < 0:
+        raise ValueError("periods must be non-negative")
+    total = busy + vacation
+    if total == 0:
+        return 0.0
+    return busy / total
+
+
+def cdf_vacation(x: float, ts: float, tl: float, m: int) -> float:
+    """P(V ≤ x) at high load  (eq. 5).
+
+    One primary thread with timeout T_S; M−1 backups whose wakeups are
+    uniform over (0, T_L] by the decorrelation assumption.  Setting
+    ``tl == ts`` with ``m`` *competitors* gives the low-load CDF (eq. 8)
+    — pass ``m = M + 1`` in that reading, since eq. 5's ``m`` counts the
+    primary plus M−1 backups.
+    """
+    _check_common(ts, tl, m)
+    if x < 0:
+        return 0.0
+    if x >= ts:
+        return 1.0
+    return 1.0 - (1.0 - x / tl) ** (m - 1)
+
+
+def pdf_vacation(x: float, ts: float, tl: float, m: int) -> float:
+    """dP(V ≤ x)/dx for x < T_S  (eq. 9); the Figure 5 density.
+
+    Note the distribution has an atom at x = T_S (the primary's own
+    timeout) of mass (1 − T_S/T_L)^(M−1); this function returns only
+    the continuous part.
+    """
+    _check_common(ts, tl, m)
+    if x < 0 or x >= ts:
+        return 0.0
+    return (m - 1) / tl * (1.0 - x / tl) ** (m - 2)
+
+
+def vacation_atom_at_ts(ts: float, tl: float, m: int) -> float:
+    """P(V = T_S): probability no backup precedes the primary."""
+    _check_common(ts, tl, m)
+    return (1.0 - ts / tl) ** (m - 1)
+
+
+def mean_vacation_high_load(ts: float, tl: float, m: int) -> float:
+    """E[V] = (T_L/M)·(1 − (1 − T_S/T_L)^M)  (eq. 6)."""
+    _check_common(ts, tl, m)
+    return tl / m * (1.0 - (1.0 - ts / tl) ** m)
+
+
+def mean_vacation_low_load(ts: float, m: int) -> float:
+    """E[V] = T_S/M: all M threads primary with timeout T_S (§4.2.3)."""
+    if ts <= 0 or m < 1:
+        raise ValueError("bad parameters")
+    return ts / m
+
+
+def prob_backup_success(ts: float, tl: float, m: int) -> float:
+    """P(some backup wins the race)  — eq. 7 as printed integrates one
+    backup's wakeup density against the others staying away:
+
+        ∫₀^Ts (1/T_L)(1 − x/T_L)^(M−2) dx, summed over the M−1 backups,
+        giving  1 − (1 − T_S/T_L)^(M−1).
+
+    (The extraction of eq. 7 in the paper text garbles the closed form;
+    this is the value of the printed integral multiplied by M−1, i.e.
+    the probability that at least one backup fires inside T_S, which is
+    also 1 − the atom of eq. 5 — self-consistent with the CDF.)
+    """
+    _check_common(ts, tl, m)
+    if m == 1:
+        return 0.0
+    return 1.0 - (1.0 - ts / tl) ** (m - 1)
+
+
+def mean_vacation_general_exact(ts: float, tl: float, m: int, p: float) -> float:
+    """Appendix C exact integral:
+
+        E[V] = ∫₀^Ts (1 − p·x/T_S − (1−p)·x/T_L)^(M−1) dx
+             = (1 − ((1−p)(1 − T_S/T_L))^M) / (M (p/T_S + (1−p)/T_L))
+
+    where p is the probability a non-serving thread is primary.  (The
+    published text transposes T_S and T_L in the denominator — a typo:
+    the printed form does not recover T_S/M at p=1.  The version here is
+    the correct antiderivative; tests verify it against numerical
+    integration and both limits.)
+    """
+    _check_common(ts, tl, m)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p={p} outside [0,1]")
+    denom = m * (p / ts + (1.0 - p) / tl)
+    if denom == 0:
+        raise ValueError("degenerate parameters")
+    return (1.0 - ((1.0 - p) * (1.0 - ts / tl)) ** m) / denom
+
+
+def mean_vacation_general(ts: float, m: int, p: float) -> float:
+    """T_L ≫ T_S approximation (eq. 13):
+
+        E[V] = (T_S/M) · (1 − (1−p)^M)/p
+
+    with the p→0 limit equal to T_S (high load) and T_S/M at p=1.
+    """
+    if ts <= 0 or m < 1:
+        raise ValueError("bad parameters")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p={p} outside [0,1]")
+    if p == 0.0:
+        return ts
+    return ts / m * (1.0 - (1.0 - p) ** m) / p
+
+
+def prob_vacation_exceeds(x: float, ts: float, tl: float, m: int) -> float:
+    """P(V > x) under the high-load model, including the atom at T_S."""
+    _check_common(ts, tl, m)
+    if x < 0:
+        return 1.0
+    if x >= ts:
+        return 0.0
+    return (1.0 - x / tl) ** (m - 1)
+
+
+def ring_overflow_probability(
+    ring_size: int, lam_pps: float, ts_ns: float, tl_ns: float, m: int,
+    wake_overhead_ns: float = 0.0,
+) -> float:
+    """P(a renewal cycle overflows the Rx ring).
+
+    During a vacation the backlog grows at λ; a cycle loses packets when
+    λ·(V + wake overhead) exceeds the free descriptors.  This couples
+    the §4.2 vacation model to Table 2/3's loss columns: with
+    ``hr_sleep`` the overhead is a few µs and the probability is ~0 for
+    V̄ = 10 µs on a 1024 ring; with ``nanosleep``'s ~58 µs overhead the
+    effective vacation crosses the ring bound and loss appears.
+    """
+    if ring_size <= 0 or lam_pps <= 0:
+        raise ValueError("ring and rate must be positive")
+    # vacation length that fills the ring
+    v_critical = ring_size / lam_pps * 1e9 - wake_overhead_ns
+    if v_critical <= 0:
+        return 1.0
+    return prob_vacation_exceeds(v_critical, ts_ns, tl_ns, m)
+
+
+def ts_for_target_vacation(vbar: float, m: int, rho: float) -> float:
+    """The adaptive T_S rule (eq. 12):
+
+        T_S = M·(1−ρ)/(1−ρ^M) · V̄  =  V̄·M / (1 + ρ + ... + ρ^(M−1))
+
+    Continuous in ρ on [0, 1]: the ρ→1 limit is V̄ (high load) and the
+    ρ=0 value is M·V̄ (low load), i.e. eq. 11's two extremes.
+    """
+    if vbar <= 0 or m < 1:
+        raise ValueError("bad parameters")
+    rho = min(max(rho, 0.0), 1.0)
+    geometric = sum(rho ** k for k in range(m))
+    return vbar * m / geometric

@@ -1,0 +1,61 @@
+"""The user-space trylock guarding each shared Rx queue (paper §3.2).
+
+Built on an atomic compare-and-swap in the real system (x86 CMPXCHG);
+in simulated time the whole simulation is sequential, so atomicity is
+inherent — what the model adds is the *cost* asymmetry (an uncontended
+CAS vs. a contended cache-line bounce; charged by the caller via
+:func:`TryLock.acquire_cost_ns`) and the ownership/statistics semantics
+the Metronome loop relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import config
+
+
+class TryLock:
+    """Non-blocking mutual exclusion for one Rx queue."""
+
+    def __init__(self, name: str = "rxq-lock"):
+        self.name = name
+        self.owner: Optional[object] = None
+        self.acquisitions = 0
+        #: failed acquisition attempts ("busy tries", Figures 7-8)
+        self.busy_tries = 0
+
+    def try_acquire(self, owner: object) -> bool:
+        """CMPXCHG(lock, 0, 1): True iff ownership was obtained."""
+        if owner is None:
+            raise ValueError("owner must be a real object")
+        if self.owner is None:
+            self.owner = owner
+            self.acquisitions += 1
+            return True
+        if self.owner is owner:
+            raise RuntimeError(f"{owner!r} re-acquiring lock it already holds")
+        self.busy_tries += 1
+        return False
+
+    def release(self, owner: object) -> None:
+        """Release; only the owner may unlock."""
+        if self.owner is not owner:
+            raise RuntimeError(
+                f"{owner!r} releasing lock owned by {self.owner!r}"
+            )
+        self.owner = None
+
+    @property
+    def held(self) -> bool:
+        return self.owner is not None
+
+    @staticmethod
+    def acquire_cost_ns(success: bool) -> int:
+        """CPU cost of the attempt: a contended CAS pays the cache-line
+        bounce on top of the instruction itself."""
+        return config.TRYLOCK_NS if success else config.TRYLOCK_CONTENDED_NS
+
+    def __repr__(self) -> str:
+        state = f"held by {self.owner!r}" if self.held else "free"
+        return f"<TryLock {self.name}: {state}>"

@@ -1,0 +1,104 @@
+"""Load estimation and timeout adaptation (paper §4.3).
+
+:class:`AdaptiveTuner` implements the paper's controller:
+
+* after every renewal cycle, update the load estimate with the EWMA of
+  eq. (10):   ρ(i) = (1−α)·ρ(i−1) + α·B(i)/(V(i)+B(i));
+* derive the short timeout from eq. (12):
+  T_S = M·(1−ρ)/(1−ρ^M)·V̄, so the *achieved* mean vacation stays pinned
+  at the target V̄ across the whole load range.
+
+:class:`FixedTuner` serves the parameter-sweep experiments that study a
+constant T_S (Figures 5, 7, 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.cycles import CycleRecord
+from repro.core.model import rho_from_periods, ts_for_target_vacation
+
+
+class TunerBase:
+    """Interface shared by adaptive and fixed timeout policies."""
+
+    def observe(self, record: CycleRecord) -> None:
+        """Feed one completed renewal cycle."""
+
+    def ts_ns(self) -> int:
+        """Current short (primary) timeout."""
+        raise NotImplementedError
+
+    def tl_ns(self) -> int:
+        """Current long (backup) timeout."""
+        raise NotImplementedError
+
+    @property
+    def rho(self) -> float:
+        """Current load estimate (0 when the policy does not estimate)."""
+        return 0.0
+
+
+class FixedTuner(TunerBase):
+    """Constant T_S/T_L, no adaptation."""
+
+    def __init__(self, ts_ns: int, tl_ns: int):
+        if ts_ns <= 0 or tl_ns <= 0:
+            raise ValueError("timeouts must be positive")
+        self._ts = ts_ns
+        self._tl = tl_ns
+
+    def ts_ns(self) -> int:
+        return self._ts
+
+    def tl_ns(self) -> int:
+        return self._tl
+
+
+class AdaptiveTuner(TunerBase):
+    """The paper's EWMA + eq. 12 controller targeting a constant V̄."""
+
+    def __init__(
+        self,
+        vbar_ns: int,
+        tl_ns: int,
+        m: int,
+        alpha: float = 0.125,
+        initial_rho: float = 0.0,
+        record_history: bool = False,
+    ):
+        if vbar_ns <= 0 or tl_ns <= 0:
+            raise ValueError("timeouts must be positive")
+        if m < 1:
+            raise ValueError("M must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.vbar_ns = vbar_ns
+        self._tl = tl_ns
+        self.m = m
+        self.alpha = alpha
+        self._rho = min(max(initial_rho, 0.0), 1.0)
+        self.cycles_observed = 0
+        self.history: Optional[List[Tuple[int, float, int]]] = (
+            [] if record_history else None
+        )
+
+    @property
+    def rho(self) -> float:
+        return self._rho
+
+    def observe(self, record: CycleRecord) -> None:
+        sample = rho_from_periods(record.busy_ns, record.vacation_ns)
+        self._rho = (1.0 - self.alpha) * self._rho + self.alpha * sample
+        self.cycles_observed += 1
+        if self.history is not None:
+            self.history.append((record.start_ns, self._rho, self.ts_ns()))
+
+    def ts_ns(self) -> int:
+        ts = ts_for_target_vacation(self.vbar_ns, self.m, self._rho)
+        # never sleep longer than the backup timeout
+        return min(int(ts), self._tl)
+
+    def tl_ns(self) -> int:
+        return self._tl

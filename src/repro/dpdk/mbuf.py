@@ -1,0 +1,61 @@
+"""Packet-buffer (mbuf) pool accounting.
+
+DPDK pre-allocates packet buffers from hugepage-backed mempools; the Rx
+path takes buffers to refill descriptors and the Tx path returns them
+after transmission.  We model the pool as a counter: exhaustion makes
+``rx`` deliveries fail, which surfaces as drops — the same observable a
+real application sees when it leaks or holds too many mbufs.
+"""
+
+from __future__ import annotations
+
+
+class MbufPoolExhausted(RuntimeError):
+    """Raised by :meth:`MbufPool.take_strict` when the pool is empty."""
+
+
+class MbufPool:
+    """A fixed-size buffer pool with take/give accounting."""
+
+    def __init__(self, capacity: int = 8192):
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.capacity = capacity
+        self.available = capacity
+        self.takes = 0
+        self.gives = 0
+        self.failures = 0
+
+    def take(self, n: int) -> int:
+        """Take up to ``n`` buffers; returns how many were granted."""
+        if n < 0:
+            raise ValueError("negative take")
+        granted = min(n, self.available)
+        self.available -= granted
+        self.takes += granted
+        if granted < n:
+            self.failures += n - granted
+        return granted
+
+    def take_strict(self, n: int) -> None:
+        """Take exactly ``n`` buffers or raise."""
+        if n > self.available:
+            self.failures += n
+            raise MbufPoolExhausted(
+                f"need {n} mbufs, only {self.available} available"
+            )
+        self.available -= n
+        self.takes += n
+
+    def give(self, n: int) -> None:
+        """Return ``n`` buffers to the pool."""
+        if n < 0:
+            raise ValueError("negative give")
+        if self.available + n > self.capacity:
+            raise ValueError("returning more mbufs than were taken")
+        self.available += n
+        self.gives += n
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self.available

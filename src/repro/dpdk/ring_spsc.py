@@ -1,0 +1,90 @@
+"""A single-producer/single-consumer ring (DPDK ``rte_ring`` SP/SC mode).
+
+Used by FloWatcher's *pipeline* deployment (paper §5.7: "FloWatcher can
+either act through a run to completion model or a pipeline one"): the
+receiving thread enqueues packet references, a separate statistics
+thread dequeues and accounts them.
+
+The structure mirrors rte_ring: a power-of-two slot array with head and
+tail indices; in SP/SC mode neither side needs atomics beyond the index
+publication, which the simulator's sequential execution gives us for
+free — what the model keeps is the *capacity semantics* (bounded, drop
+or backpressure on full) and the batch enqueue/dequeue API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+
+class SpscRing:
+    """Bounded FIFO with rte_ring-style bulk/burst operations."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 2 or capacity & (capacity - 1):
+            raise ValueError("capacity must be a power of two >= 2")
+        self.capacity = capacity
+        self._mask = capacity - 1
+        self._slots: List[Any] = [None] * capacity
+        self._head = 0   # next slot to write (producer)
+        self._tail = 0   # next slot to read (consumer)
+        self.enqueued_total = 0
+        self.dequeued_total = 0
+        self.enqueue_failures = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> int:
+        return self._head - self._tail
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.count
+
+    @property
+    def empty(self) -> bool:
+        return self._head == self._tail
+
+    @property
+    def full(self) -> bool:
+        return self.count == self.capacity
+
+    # ------------------------------------------------------------------ #
+
+    def enqueue_burst(self, items: List[Any]) -> int:
+        """Enqueue up to len(items); returns how many fit (rte_ring
+        burst semantics — partial success allowed)."""
+        n = min(len(items), self.free)
+        for i in range(n):
+            self._slots[(self._head + i) & self._mask] = items[i]
+        self._head += n
+        self.enqueued_total += n
+        self.enqueue_failures += len(items) - n
+        return n
+
+    def enqueue_bulk(self, items: List[Any]) -> bool:
+        """All-or-nothing enqueue (rte_ring bulk semantics)."""
+        if len(items) > self.free:
+            self.enqueue_failures += len(items)
+            return False
+        self.enqueue_burst(items)
+        return True
+
+    def dequeue_burst(self, max_items: int) -> List[Any]:
+        """Dequeue up to ``max_items``."""
+        if max_items < 0:
+            raise ValueError("negative burst")
+        n = min(max_items, self.count)
+        out = []
+        for i in range(n):
+            idx = (self._tail + i) & self._mask
+            out.append(self._slots[idx])
+            self._slots[idx] = None
+        self._tail += n
+        self.dequeued_total += n
+        return out
+
+    def dequeue_one(self) -> Optional[Any]:
+        items = self.dequeue_burst(1)
+        return items[0] if items else None

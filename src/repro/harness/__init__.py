@@ -1,0 +1,31 @@
+"""Experiment harness: scenario builders, runners, and report rendering.
+
+* :mod:`repro.harness.experiment` — composable runners for the three
+  systems under comparison (Metronome / static DPDK / XDP) returning
+  uniform result records.
+* :mod:`repro.harness.scenarios` — one function per paper table/figure,
+  producing the same rows/series the paper reports.
+* :mod:`repro.harness.paper_data` — the paper's published numbers, for
+  side-by-side paper-vs-measured output.
+* :mod:`repro.harness.report` — plain-text table renderer.
+"""
+
+from repro.harness.experiment import (
+    DpdkRunResult,
+    MetronomeRunResult,
+    XdpRunResult,
+    run_dpdk,
+    run_metronome,
+    run_xdp,
+)
+from repro.harness.report import render_table
+
+__all__ = [
+    "MetronomeRunResult",
+    "DpdkRunResult",
+    "XdpRunResult",
+    "run_metronome",
+    "run_dpdk",
+    "run_xdp",
+    "render_table",
+]

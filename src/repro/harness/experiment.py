@@ -1,0 +1,287 @@
+"""Uniform runners for the three systems under study.
+
+Each runner builds a fresh :class:`~repro.kernel.machine.Machine`, wires
+traffic → queues → application → system, runs for a simulated duration,
+and returns a result record with the metrics the paper reports: loss,
+CPU utilization (100% = one core), latency distribution, throughput,
+and — for Metronome — renewal-cycle statistics and controller state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro import config
+from repro.core.metronome import MetronomeGroup
+from repro.core.tuning import AdaptiveTuner, FixedTuner, TunerBase
+from repro.dpdk.app import PacketApp
+from repro.dpdk.lcore import PollModeLcore
+from repro.kernel.machine import Machine
+from repro.metrics.latency import LatencyStats
+from repro.nic.device import NicPort
+from repro.nic.flows import FlowSet
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import ArrivalProcess, CbrProcess
+from repro.sim.units import MS, SEC, US
+
+
+def default_app() -> PacketApp:
+    """The default workload: l3fwd with the standard flow population."""
+    from repro.apps.l3fwd import L3FwdApp
+
+    return L3FwdApp(flows=FlowSet())
+
+
+@dataclass
+class BaseRunResult:
+    """Metrics common to every system."""
+
+    duration_ns: int
+    offered: int
+    delivered: int
+    drops: int
+    cpu_utilization: float
+    energy_j: float
+    latency: LatencyStats
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.drops / self.offered if self.offered else 0.0
+
+    @property
+    def throughput_mpps(self) -> float:
+        return self.delivered / (self.duration_ns / SEC) / 1e6
+
+
+@dataclass
+class MetronomeRunResult(BaseRunResult):
+    mean_vacation_us: float = 0.0
+    mean_busy_us: float = 0.0
+    mean_n_vacation: float = 0.0
+    cycles: int = 0
+    busy_tries: int = 0
+    wake_rounds: int = 0
+    rho: float = 0.0
+    ts_us: float = 0.0
+    group: Optional[MetronomeGroup] = field(default=None, repr=False)
+    machine: Optional[Machine] = field(default=None, repr=False)
+
+    @property
+    def busy_try_fraction(self) -> float:
+        return self.busy_tries / self.wake_rounds if self.wake_rounds else 0.0
+
+
+@dataclass
+class DpdkRunResult(BaseRunResult):
+    lcore: Optional[PollModeLcore] = field(default=None, repr=False)
+    machine: Optional[Machine] = field(default=None, repr=False)
+
+
+@dataclass
+class XdpRunResult(BaseRunResult):
+    irqs: int = 0
+    machine: Optional[Machine] = field(default=None, repr=False)
+
+
+def _make_queue(
+    machine: Machine,
+    rate: ArrivalProcess,
+    ring_size: int,
+    sample_every: int,
+    flows: Optional[FlowSet] = None,
+) -> RxQueue:
+    return RxQueue(
+        machine.sim,
+        rate,
+        flows=flows or FlowSet(),
+        ring_size=ring_size,
+        sample_every=sample_every,
+    )
+
+
+def run_metronome(
+    rate: object,
+    duration_ms: int = 100,
+    app: Optional[PacketApp] = None,
+    cfg: Optional[config.SimConfig] = None,
+    tuner: Optional[TunerBase] = None,
+    sleep_service: str = "hr_sleep",
+    num_threads: Optional[int] = None,
+    cores: Optional[List[int]] = None,
+    ring_size: Optional[int] = None,
+    tx_batch: Optional[int] = None,
+    nice: int = 0,
+    flush_before_sleep: bool = False,
+    setup_hook: Optional[Callable[[Machine, MetronomeGroup], None]] = None,
+    warmup_ms: int = 0,
+) -> MetronomeRunResult:
+    """Run Metronome over one shared Rx queue.
+
+    ``rate`` is either a pps int (CBR traffic) or a ready
+    :class:`ArrivalProcess`.  ``setup_hook`` runs after the group starts
+    (e.g. to add interference workloads or samplers).
+    """
+    cfg = cfg or config.SimConfig()
+    machine = Machine(cfg)
+    process = rate if isinstance(rate, ArrivalProcess) else CbrProcess(int(rate))
+    queue = _make_queue(
+        machine,
+        process,
+        ring_size or cfg.rx_ring_size,
+        cfg.latency_sample_every,
+    )
+    app = app or default_app()
+    m = num_threads if num_threads is not None else cfg.num_threads
+    # seed the adaptive controller mid-range so early cycles are sane
+    tuner = tuner or AdaptiveTuner(
+        vbar_ns=cfg.vbar_ns, tl_ns=cfg.tl_ns, m=m, alpha=cfg.alpha,
+        initial_rho=0.5,
+    )
+    group = MetronomeGroup(
+        machine,
+        [queue],
+        app,
+        tuner=tuner,
+        sleep_service=sleep_service,
+        num_threads=m,
+        cores=cores,
+        nice=nice,
+        tx_batch=tx_batch,
+        flush_before_sleep=flush_before_sleep,
+    )
+    group.start()
+    if setup_hook is not None:
+        setup_hook(machine, group)
+    # warmup lets the controller settle before measuring
+    t_start = warmup_ms * MS
+    if t_start:
+        machine.run(until=t_start)
+
+    def exec_busy() -> int:
+        return sum(
+            machine.cores[c].total_busy_ns() - machine.cores[c].exit_stall_ns
+            for c in group.cores
+        )
+
+    busy0 = exec_busy()
+    e0 = machine.energy_joules()
+    machine.run(until=t_start + duration_ms * MS)
+    busy1 = exec_busy()
+
+    queue.sync()
+    cs = group.cycle_stats()
+    duration = duration_ms * MS
+    return MetronomeRunResult(
+        duration_ns=duration,
+        offered=queue.arrived_total,
+        delivered=group.total_packets,
+        drops=queue.drops,
+        cpu_utilization=(busy1 - busy0) / duration,
+        energy_j=machine.energy_joules() - e0,
+        latency=group.latency,
+        mean_vacation_us=cs.mean_vacation_ns() / US if cs.count else 0.0,
+        mean_busy_us=cs.mean_busy_ns() / US if cs.count else 0.0,
+        mean_n_vacation=cs.mean_n_vacation() if cs.count else 0.0,
+        cycles=cs.count,
+        busy_tries=group.busy_tries,
+        wake_rounds=group.total_iterations,
+        rho=group.tuner.rho,
+        ts_us=group.tuner.ts_ns() / US,
+        group=group,
+        machine=machine,
+    )
+
+
+def run_dpdk(
+    rate: object,
+    duration_ms: int = 100,
+    app: Optional[PacketApp] = None,
+    cfg: Optional[config.SimConfig] = None,
+    core: int = 0,
+    nice: int = 0,
+    ring_size: Optional[int] = None,
+    setup_hook: Optional[Callable[[Machine, PollModeLcore], None]] = None,
+) -> DpdkRunResult:
+    """Run the static continuous-polling DPDK baseline (one lcore)."""
+    cfg = cfg or config.SimConfig()
+    machine = Machine(cfg)
+    process = rate if isinstance(rate, ArrivalProcess) else CbrProcess(int(rate))
+    queue = _make_queue(
+        machine, process, ring_size or cfg.rx_ring_size, cfg.latency_sample_every
+    )
+    app = app or default_app()
+    latency = LatencyStats()
+    lcore = PollModeLcore(machine, [queue], app, core=core, nice=nice)
+    lcore.tx_buffers[0].on_tx = lambda pkt: latency.add(pkt.latency_ns)
+    lcore.start()
+    if setup_hook is not None:
+        setup_hook(machine, lcore)
+    e0 = machine.energy_joules()
+    machine.run(until=duration_ms * MS)
+    queue.sync()
+    return DpdkRunResult(
+        duration_ns=duration_ms * MS,
+        offered=queue.arrived_total,
+        delivered=lcore.rx_packets,
+        drops=queue.drops,
+        cpu_utilization=machine.cpu_utilization([core]),
+        energy_j=machine.energy_joules() - e0,
+        latency=latency,
+        lcore=lcore,
+        machine=machine,
+    )
+
+
+def run_xdp(
+    rate_pps: int,
+    duration_ms: int = 100,
+    app: Optional[PacketApp] = None,
+    cfg: Optional[config.SimConfig] = None,
+    num_queues: int = 1,
+    cores: Optional[List[int]] = None,
+    ring_size: Optional[int] = None,
+    prewarmed: bool = True,
+) -> XdpRunResult:
+    """Run the XDP baseline: ``num_queues`` queues, 1:1 queue-to-core.
+
+    Traffic is split evenly across the queues (the paper's ethtool flow
+    steering).  ``prewarmed=False`` starts with a cold page pool, for
+    the burst-reactivity experiment.
+    """
+    from repro.xdp.driver import XdpDriver
+
+    cfg = cfg or config.SimConfig()
+    machine = Machine(cfg)
+    per_queue = int(rate_pps) // num_queues
+    processes = [CbrProcess(per_queue) for _ in range(num_queues)]
+    port = NicPort(
+        machine.sim,
+        processes,
+        ring_size=ring_size or cfg.rx_ring_size,
+        sample_every=cfg.latency_sample_every,
+    )
+    if app is None:
+        # same functional workload, XDP-calibrated per-packet cost
+        # (page handling + eBPF program + DMA sync; see config)
+        app = default_app()
+        app.per_packet_ns = config.XDP_PKT_NS
+    driver = XdpDriver(machine, port, app, cores=cores)
+    if prewarmed:
+        for q in driver.queues:
+            q._warm_remaining = 0
+            q._last_active_ns = 0
+    driver.start()
+    e0 = machine.energy_joules()
+    machine.run(until=duration_ms * MS)
+    return XdpRunResult(
+        duration_ns=duration_ms * MS,
+        offered=port.total_arrived(),
+        delivered=driver.total_packets,
+        drops=port.total_drops(),
+        cpu_utilization=driver.cpu_utilization(),
+        energy_j=machine.energy_joules() - e0,
+        latency=driver.latency,
+        irqs=driver.total_irqs,
+        machine=machine,
+    )

@@ -1,0 +1,72 @@
+"""The paper's published numbers, transcribed for paper-vs-measured output.
+
+Sources are the tables of Faltelli et al., CoNEXT 2020, plus figure
+values the text states explicitly.  Figures we can only read
+qualitatively carry shape descriptions used in EXPERIMENTS.md.
+"""
+
+# Table 1: measured sleep period lengths (us) — (mean, 99p)
+TABLE1 = {
+    ("nanosleep", 1): (58.95, 69.91),
+    ("nanosleep", 5): (62.45, 66.75),
+    ("nanosleep", 10): (67.59, 76.15),
+    ("nanosleep", 50): (107.75, 115.69),
+    ("nanosleep", 100): (158.26, 165.54),
+    ("nanosleep", 200): (258.1, 269.97),
+    ("hr_sleep", 1): (3.803, 3.920),
+    ("hr_sleep", 5): (8.642, 9.00),
+    ("hr_sleep", 10): (14.76, 15.13),
+    ("hr_sleep", 50): (57.72, 68.87),
+    ("hr_sleep", 100): (107.89, 115.64),
+    ("hr_sleep", 200): (208.39, 215.35),
+}
+
+# Table 2: target V (us) -> (measured V us, measured B us, N_V, loss permille)
+TABLE2 = {
+    5: (11.67, 13.40, 172.39, 0.0),
+    10: (19.55, 20.24, 287.77, 0.0),
+    12: (21.99, 22.86, 326.30, 0.0037),
+    15: (26.23, 27.25, 385.18, 0.023),
+    20: (33.28, 38.32, 494.39, 1.180),
+}
+
+# Table 3: (ring size, target V us) -> nanosleep-in-Metronome loss %
+TABLE3 = {
+    (1024, 10): 6.166,
+    (2048, 10): 4.08,
+    (4096, 10): 3.893,
+    (4096, 1): 0.845,
+}
+
+# Table 4: throughput (Mpps) when sharing cores with ferret
+TABLE4 = {
+    "dpdk_static_shared": 7.31,    # one core, shared with ferret
+    "metronome_shared": 14.88,     # 3 cores shared: "no packet loss"
+}
+
+# §5 scalar statements
+LINE_RATE_MPPS = 14.88
+BIDIR_MPPS_PER_PORT = 11.61
+IPSEC_MAX_MPPS = 5.61
+XDP_MAX_MPPS = 13.57
+DPDK_MIN_LATENCY_US = 6.83
+METRONOME_TUNED_LATENCY_US = 7.21
+METRONOME_CPU_AT_LINE_RATE = 0.60    # "40% CPU saving even under line-rate"
+METRONOME_CPU_AT_05GBPS = 0.186      # "around 18.6% CPU usage at 0.5Gbps"
+METRONOME_CPU_NO_TRAFFIC = 0.20      # Figure 11b: "about 20% with no traffic"
+FERRET_SLOWDOWN_WITH_POLLING = 3.0   # "almost triple its duration"
+FERRET_SLOWDOWN_WITH_METRONOME = 1.1  # "only causes a 10% increase"
+ONDEMAND_MAX_POWER_SAVING = 0.27     # "around 27%" at no traffic
+
+# Figure 12b (read from the bars, approximate): total CPU utilization
+FIG12B_CPU = {
+    # gbps: (metronome, dpdk, xdp)   100% = one core
+    0.5: (0.186, 1.0, 0.34),
+    1.0: (0.25, 1.0, 0.52),
+    5.0: (0.45, 1.0, 2.2),
+    10.0: (0.60, 1.0, 4.0),
+}
+
+# Figure 15 (read from the lines, approximate): CPU at line rate
+FIG15_IPSEC_CPU_LINE_RATE = 1.05     # one thread pinned busy + backups
+FIG15_FLOWATCHER_CPU_GAIN = 0.5      # "50% gain even under line rate"

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benches and examples.
+
+Benches print the same rows the paper's tables/figures report, with the
+paper's value alongside where one is available, so EXPERIMENTS.md can be
+assembled straight from bench output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    cells: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""High-resolution per-core timers (the paper's Figure 1 wakeup path).
+
+A real hrtimer expiry involves: the hardware timer (HPET / TSC-deadline)
+raising an interrupt on the CPU that armed the timer; the CPU — possibly
+waking from a C-state — entering ``hrtimer_interrupt``; and the expiry
+callback (for sleep services, the wakeup of the sleeping thread).  Each
+of those stages contributes latency that Metronome's precision argument
+depends on, so each is modelled explicitly:
+
+``expiry``  →  (+ TIMER_IRQ_LATENCY)  →  [C-state exit if core idle]
+            →  (+ TIMER_IRQ_HANDLER, stolen from the running thread)
+            →  callback
+
+Timers are armed on the calling thread's core, like Linux pins an
+``hrtimer_sleeper`` to the CPU that started it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import config
+from repro.kernel.cpu import Core
+
+
+class HrTimer:
+    """One armed high-resolution timer."""
+
+    __slots__ = ("queue", "expiry", "callback", "_handle", "cancelled", "fired")
+
+    def __init__(self, queue: "HrTimerQueue", expiry: int, callback: Callable[[], None]):
+        self.queue = queue
+        self.expiry = expiry
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+        self._handle = None
+
+    def cancel(self) -> None:
+        """Disarm; the callback will not run.  Idempotent."""
+        if not self.fired and not self.cancelled:
+            self.cancelled = True
+            if self._handle is not None:
+                self._handle.cancel()
+
+
+class HrTimerQueue:
+    """The per-core hrtimer base.
+
+    Also exposes :meth:`next_expiry` so the cpuidle governor can predict
+    idle residency the way the Linux menu governor does.
+    """
+
+    def __init__(self, machine: "Machine", core: Core):  # noqa: F821
+        self.machine = machine
+        self.sim = machine.sim
+        self.core = core
+        self._armed: dict = {}   # id(timer) -> timer, for next_expiry scans
+        self.fired_count = 0
+
+    def arm(self, expiry: int, callback: Callable[[], None]) -> HrTimer:
+        """Arm a timer to fire the callback at absolute time ``expiry``.
+
+        The hardware-interrupt pipeline latency is applied here: the
+        callback actually runs at
+        ``expiry + IRQ latency [+ C-state exit] + handler time``.
+        """
+        timer = HrTimer(self, expiry, callback)
+        timer._handle = self.sim.call_at(
+            expiry + config.TIMER_IRQ_LATENCY_NS, self._fire, timer
+        )
+        self._armed[id(timer)] = timer
+        return timer
+
+    def next_expiry(self) -> Optional[int]:
+        """Earliest pending expiry on this core (menu-governor input)."""
+        live = [t.expiry for t in self._armed.values() if not t.cancelled]
+        return min(live) if live else None
+
+    # ------------------------------------------------------------------ #
+
+    def _fire(self, timer: HrTimer) -> None:
+        self._armed.pop(id(timer), None)
+        if timer.cancelled:
+            return
+        timer.fired = True
+        self.fired_count += 1
+        core = self.core
+        if core.is_busy:
+            # handler steals time from whatever the core is doing
+            core.inject_irq_time(config.TIMER_IRQ_HANDLER_NS)
+            self.sim.call_after(config.TIMER_IRQ_HANDLER_NS, self._run_callback, timer)
+        else:
+            # idle core: pay the C-state exit latency before the handler
+            exit_ns = self.machine.cpuidle.exit_latency(core)
+            core.exit_stall_ns += exit_ns
+            core.irq_ns += config.TIMER_IRQ_HANDLER_NS
+            end = self.machine.scheduler.occupy_idle_irq(
+                core, exit_ns + config.TIMER_IRQ_HANDLER_NS
+            )
+            self.sim.call_at(end, self._run_callback_idle, timer)
+
+    def _run_callback(self, timer: HrTimer) -> None:
+        timer.callback()
+
+    def _run_callback_idle(self, timer: HrTimer) -> None:
+        timer.callback()
+        # if the callback did not make anything runnable, drop back to idle
+        self.machine.scheduler.settle_idle(self.core)

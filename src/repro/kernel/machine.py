@@ -1,0 +1,148 @@
+"""The assembled testbed node: cores + scheduler + timers + power + noise.
+
+A :class:`Machine` corresponds to the paper's isolated NUMA node (§3.3):
+a handful of Xeon Silver cores running Linux 5.4 with either the
+``performance`` or ``ondemand`` governor.  It owns the simulator, the
+random streams, and every kernel subsystem, and offers the high-level
+operations experiments need: spawn threads, create sleep services, read
+CPU/energy accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro import config
+from repro.kernel.cpu import Core
+from repro.kernel.cpuidle import CpuIdle
+from repro.kernel.hrtimer import HrTimerQueue
+from repro.kernel.noise import OsNoise
+from repro.kernel.power import PowerMeter, make_governor
+from repro.kernel.scheduler import CfsScheduler
+from repro.kernel.sleep import HrSleep, Nanosleep, SleepService
+from repro.kernel.thread import KThread
+from repro.sim.core import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class Machine:
+    """One simulated server node."""
+
+    def __init__(self, cfg: Optional[config.SimConfig] = None):
+        self.cfg = cfg or config.SimConfig()
+        self.sim = Simulator()
+        self.streams = RandomStreams(self.cfg.seed)
+        self.cores: List[Core] = [Core(self, i) for i in range(self.cfg.num_cores)]
+        if self.cfg.smt_pairs:
+            for a, b in self.cfg.smt_pairs:
+                if a == b:
+                    raise ValueError(f"core {a} cannot be its own sibling")
+                if self.cores[a].smt_sibling or self.cores[b].smt_sibling:
+                    raise ValueError("a core can appear in one SMT pair only")
+                self.cores[a].smt_sibling = self.cores[b]
+                self.cores[b].smt_sibling = self.cores[a]
+        self.power = PowerMeter(self)
+        self.cpuidle = CpuIdle(self.streams)
+        self.scheduler = CfsScheduler(self)
+        self.hrtimers: List[HrTimerQueue] = [
+            HrTimerQueue(self, core) for core in self.cores
+        ]
+        self.governor = make_governor(self, self.cfg.governor)
+        self.governor.start()
+        self.noise: Optional[OsNoise] = None
+        if self.cfg.os_noise:
+            self.noise = OsNoise(self)
+            self.noise.start()
+        self.threads: List[KThread] = []
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def spawn(
+        self,
+        body,
+        name: str,
+        nice: int = 0,
+        core: int = 0,
+    ) -> KThread:
+        """Create and start a thread pinned to ``core``.
+
+        ``body`` is either a ready generator, or a callable taking the new
+        :class:`KThread` and returning the generator (handy when the body
+        needs its own thread handle, e.g. to arm timers for itself).
+        """
+        thread = KThread(self, None, name=name, nice=nice, core_index=core)
+        thread.body = body(thread) if callable(body) else body
+        self.threads.append(thread)
+        self.scheduler.start_thread(thread)
+        return thread
+
+    def sleep_service(self, name: str) -> SleepService:
+        """Instantiate a sleep service (``"hr_sleep"``/``"nanosleep"``)."""
+        if name == "hr_sleep":
+            return HrSleep(self)
+        if name == "nanosleep":
+            return Nanosleep(self)
+        raise ValueError(f"unknown sleep service {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run the simulation (absolute-time bound)."""
+        self.sim.run(until=until)
+
+    def run_for(self, duration: int) -> None:
+        """Run the simulation for ``duration`` more nanoseconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_event(self, event, hard_limit: int) -> None:
+        """Run until ``event`` triggers, bounded by ``hard_limit`` ns."""
+        event.add_callback(lambda _ev: self.sim.stop())
+        self.sim.run(until=hard_limit)
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+
+    def total_cpu_busy_ns(self) -> int:
+        """Busy time summed over cores.
+
+        A core's busy span already includes IRQ handling and context-switch
+        overhead occurring inside it; ``irq_ns``/``switch_ns`` are
+        sub-accounts, not additions.
+        """
+        return sum(core.total_busy_ns() for core in self.cores)
+
+    def cpu_utilization(self, cores: Optional[List[int]] = None) -> float:
+        """Mean *executing* fraction of the selected cores since t=0.
+
+        Expressed the way the paper's figures do: 100% = one fully busy
+        core, so three cores at 20% each report 60%.  C-state exit
+        stalls are excluded — a core waking from idle is not executing
+        instructions and getrusage/mpstat (the paper's instruments) do
+        not see that time.
+        """
+        if self.sim.now == 0:
+            return 0.0
+        indexes = range(len(self.cores)) if cores is None else cores
+        busy = sum(
+            self.cores[i].total_busy_ns() - self.cores[i].exit_stall_ns
+            for i in indexes
+        )
+        return busy / self.sim.now
+
+    def energy_joules(self) -> float:
+        """Cumulative package energy (RAPL analogue)."""
+        return self.power.read_joules()
+
+    def getrusage_ns(self, threads: Optional[List[KThread]] = None) -> int:
+        """Total CPU time consumed by the given threads (default: all)."""
+        pool = self.threads if threads is None else threads
+        return sum(t.cputime_ns for t in pool)

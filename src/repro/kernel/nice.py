@@ -1,0 +1,31 @@
+"""Nice levels and CFS load weights.
+
+The weight table is the kernel's ``sched_prio_to_weight`` array: each
+nice step changes the CPU share by ~10% relative to a competitor, i.e.
+weights follow roughly 1024 * 1.25**(-nice).
+"""
+
+from __future__ import annotations
+
+#: sched_prio_to_weight from kernel/sched/core.c, nice -20 .. +19.
+PRIO_TO_WEIGHT = [
+    88761, 71755, 56483, 46273, 36291,
+    29154, 23254, 18705, 14949, 11916,
+    9548, 7620, 6100, 4904, 3906,
+    3121, 2501, 1991, 1586, 1277,
+    1024, 820, 655, 526, 423,
+    335, 272, 215, 172, 137,
+    110, 87, 70, 56, 45,
+    36, 29, 23, 18, 15,
+]
+
+NICE_0_WEIGHT = 1024
+MIN_NICE = -20
+MAX_NICE = 19
+
+
+def weight_for_nice(nice: int) -> int:
+    """CFS load weight for a nice level (clamped to [-20, 19])."""
+    if not MIN_NICE <= nice <= MAX_NICE:
+        raise ValueError(f"nice {nice} outside [{MIN_NICE}, {MAX_NICE}]")
+    return PRIO_TO_WEIGHT[nice - MIN_NICE]

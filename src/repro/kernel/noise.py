@@ -1,0 +1,52 @@
+"""Background OS noise: kernel daemons stealing slices of CPU.
+
+Paper §4.2.4 observes that "actual CPU-reschedules after a sleep period
+can occur after the maximum time delay T_L, because of CPU-scheduling
+decisions by the OS — for example favoring OS-kernel demons".  This
+module injects that interference: on each core, at exponentially
+distributed intervals, a burst of kernel work (kworker flushes, RCU
+callbacks, ...) steals a uniformly distributed slice of CPU time.
+
+The bursts run in interrupt/softirq context — they stretch whatever the
+core is doing and delay pending dispatches, producing exactly the rare
+over-``T_L`` tail the paper's Figure 5 shows.
+"""
+
+from __future__ import annotations
+
+from repro import config
+
+
+class OsNoise:
+    """Per-core kernel-daemon interference generator.
+
+    Bursts are armed through the low-resolution timer wheel at jiffy
+    (1 ms) granularity — kworker timers are wheel timers, so their
+    firing times inherit the wheel's rounding, not hrtimer precision.
+    """
+
+    def __init__(self, machine: "Machine"):  # noqa: F821
+        self.machine = machine
+        self.sim = machine.sim
+        self._rng = machine.streams.stream("os-noise")
+        self.bursts = 0
+        self.stolen_ns = 0
+        from repro.kernel.timerwheel import DrivenTimerWheel
+
+        self.wheel = DrivenTimerWheel(machine.sim, tick_ns=1_000_000)
+
+    def start(self) -> None:
+        """Arm one noise source per core."""
+        for core in self.machine.cores:
+            self._arm(core)
+
+    def _arm(self, core) -> None:
+        gap = self._rng.expovariate(1.0 / config.OS_NOISE_MEAN_PERIOD_NS)
+        self.wheel.add(max(1, int(gap)), lambda core=core: self._burst(core))
+
+    def _burst(self, core) -> None:
+        duration = self._rng.randint(config.OS_NOISE_MIN_NS, config.OS_NOISE_MAX_NS)
+        self.bursts += 1
+        self.stolen_ns += duration
+        core.inject_irq_time(duration)
+        self._arm(core)

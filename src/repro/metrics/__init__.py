@@ -1,0 +1,19 @@
+"""Measurement utilities: latency distributions, CPU sampling, energy.
+
+These mirror the paper's instrumentation: MoonGen-style sampled latency
+percentiles/boxplots, getrusage-style CPU accounting, RAPL energy reads,
+and a generic time-series recorder for the adaptation plots (§5.3).
+"""
+
+from repro.metrics.breakdown import LatencyBreakdown
+from repro.metrics.cpu import CpuSampler
+from repro.metrics.latency import BoxplotStats, LatencyStats
+from repro.metrics.recorder import TimeSeries
+
+__all__ = [
+    "LatencyStats",
+    "BoxplotStats",
+    "LatencyBreakdown",
+    "CpuSampler",
+    "TimeSeries",
+]

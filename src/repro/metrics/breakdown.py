@@ -1,0 +1,58 @@
+"""Latency breakdown: where does a packet's delay come from?
+
+Splits every tagged packet's wire-to-wire latency into the three
+components the paper's latency discussion (§5.4) reasons about:
+
+* **ring wait** — arrival → retrieval: the vacation the packet landed
+  in plus its share of the drain (Metronome's knob, V̄);
+* **egress wait** — retrieval → Tx stamp minus the constant floor:
+  processing plus any Tx-batching park (the Tx-batch knob);
+* **floor** — the constant hardware measurement path.
+
+Attach via :meth:`LatencyBreakdown.on_tx` in place of a plain stats
+callback.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.metrics.latency import LatencyStats
+from repro.nic.packet import TaggedPacket
+
+
+class LatencyBreakdown:
+    """Aggregates the per-stage latency components of tagged packets."""
+
+    def __init__(self, floor_ns: int = config.HW_LATENCY_FLOOR_NS):
+        self.floor_ns = floor_ns
+        self.total = LatencyStats()
+        self.ring_wait = LatencyStats()
+        self.egress_wait = LatencyStats()
+
+    def on_tx(self, pkt: TaggedPacket) -> None:
+        """Record one transmitted packet (TxBuffer callback signature)."""
+        self.total.add(pkt.latency_ns)
+        self.ring_wait.add(pkt.ring_wait_ns)
+        self.egress_wait.add(max(0, pkt.egress_wait_ns - self.floor_ns))
+
+    @property
+    def count(self) -> int:
+        return self.total.count
+
+    def mean_components_us(self) -> dict:
+        """Mean of each component, microseconds."""
+        if self.count == 0:
+            raise ValueError("no packets recorded")
+        return {
+            "ring_wait": self.ring_wait.mean() / 1e3,
+            "egress_wait": self.egress_wait.mean() / 1e3,
+            "floor": self.floor_ns / 1e3,
+            "total": self.total.mean() / 1e3,
+        }
+
+    def consistency_error_us(self) -> float:
+        """|total − (ring + egress + floor)| — should be ~0 by
+        construction; exposed so tests can pin the invariant."""
+        parts = (self.ring_wait.mean() + self.egress_wait.mean()
+                 + self.floor_ns)
+        return abs(self.total.mean() - parts) / 1e3

@@ -1,0 +1,123 @@
+"""Latency distribution accounting (percentiles, boxplot stats).
+
+Samples are stored raw (tagged packets are a small fraction of traffic,
+so memory stays modest) which keeps percentiles exact rather than
+sketch-approximated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class BoxplotStats:
+    """The five-number summary the paper's boxplots show, plus mean/std."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+
+
+class LatencyStats:
+    """Collects latency samples (ns) and summarizes them."""
+
+    def __init__(self) -> None:
+        self._samples: List[int] = []
+        self._sorted = True
+
+    def add(self, value_ns: int) -> None:
+        if value_ns < 0:
+            raise ValueError(f"negative latency {value_ns}")
+        self._samples.append(value_ns)
+        self._sorted = False
+
+    def extend(self, values) -> None:
+        for v in values:
+            self.add(v)
+
+    def _ensure_sorted(self) -> List[int]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> List[int]:
+        """All raw samples (unsorted insertion order not guaranteed)."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples")
+        return sum(self._samples) / len(self._samples)
+
+    def std(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean()
+        var = sum((x - mu) ** 2 for x in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(var)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self._samples:
+            raise ValueError("no samples")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        s = self._ensure_sorted()
+        if len(s) == 1:
+            return float(s[0])
+        rank = (len(s) - 1) * p / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(s) - 1)
+        frac = rank - lo
+        return s[lo] * (1 - frac) + s[hi] * frac
+
+    def boxplot(self) -> BoxplotStats:
+        """Five-number summary with 1.5·IQR whiskers (Tukey style)."""
+        s = self._ensure_sorted()
+        if not s:
+            raise ValueError("no samples")
+        q1 = self.percentile(25)
+        med = self.percentile(50)
+        q3 = self.percentile(75)
+        iqr = q3 - q1
+        lo_fence = q1 - 1.5 * iqr
+        hi_fence = q3 + 1.5 * iqr
+        whisk_lo = min((x for x in s if x >= lo_fence), default=s[0])
+        whisk_hi = max((x for x in s if x <= hi_fence), default=s[-1])
+        return BoxplotStats(
+            count=len(s),
+            mean=self.mean(),
+            std=self.std(),
+            minimum=float(s[0]),
+            q1=q1,
+            median=med,
+            q3=q3,
+            maximum=float(s[-1]),
+            whisker_low=float(whisk_lo),
+            whisker_high=float(whisk_hi),
+        )
+
+    def summary_us(self) -> str:
+        """One-line human summary in microseconds."""
+        if not self._samples:
+            return "no samples"
+        b = self.boxplot()
+        return (
+            f"n={b.count} mean={b.mean/1e3:.2f}us std={b.std/1e3:.2f}us "
+            f"p50={b.median/1e3:.2f} p99={self.percentile(99)/1e3:.2f}"
+        )

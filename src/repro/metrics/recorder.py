@@ -1,0 +1,45 @@
+"""A minimal named time-series recorder.
+
+Used by the adaptation experiment to log ρ estimates, T_S settings and
+throughput over the run, and by tests to assert on trajectories.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+
+class TimeSeries:
+    """Append-only (t, value) series keyed by name."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[Tuple[int, float]]] = defaultdict(list)
+
+    def record(self, name: str, t: int, value: float) -> None:
+        series = self._series[name]
+        if series and t < series[-1][0]:
+            raise ValueError(f"time going backwards in series {name!r}")
+        series.append((t, value))
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def get(self, name: str) -> List[Tuple[int, float]]:
+        return list(self._series.get(name, []))
+
+    def values(self, name: str) -> List[float]:
+        return [v for _t, v in self._series.get(name, [])]
+
+    def last(self, name: str) -> float:
+        series = self._series.get(name)
+        if not series:
+            raise KeyError(name)
+        return series[-1][1]
+
+    def window_mean(self, name: str, t0: int, t1: int) -> float:
+        """Mean of samples with t in [t0, t1]."""
+        vals = [v for t, v in self._series.get(name, []) if t0 <= t <= t1]
+        if not vals:
+            raise ValueError(f"no samples for {name!r} in [{t0}, {t1}]")
+        return sum(vals) / len(vals)

@@ -1,0 +1,48 @@
+"""The NIC model: packets, descriptor rings, Rx/Tx queues, traffic sources.
+
+Performance architecture (DESIGN.md §4): packets are *counted*, not
+individually materialized.  Arrival processes expose lazy interval
+counting, the descriptor ring tracks occupancy and sequence numbers, and
+only every Kth packet — exactly like MoonGen's sampled timestamping —
+carries a :class:`~repro.nic.packet.TaggedPacket` with an arrival
+timestamp and a synthesized header that the applications do real work on
+(LPM lookup, AES encryption, flow accounting).
+"""
+
+from repro.nic.device import NicPort
+from repro.nic.flows import FlowSet
+from repro.nic.packet import PacketHeader, TaggedPacket, format_ipv4, ipv4
+from repro.nic.ring import DescriptorRing
+from repro.nic.rss import RssSteering, toeplitz_hash
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import (
+    ArrivalProcess,
+    CbrProcess,
+    OnOffProcess,
+    PoissonProcess,
+    RampProfile,
+    gbps_to_pps,
+    triangle_ramp,
+)
+from repro.nic.txqueue import TxBuffer
+
+__all__ = [
+    "NicPort",
+    "FlowSet",
+    "PacketHeader",
+    "TaggedPacket",
+    "ipv4",
+    "format_ipv4",
+    "DescriptorRing",
+    "RxQueue",
+    "TxBuffer",
+    "RssSteering",
+    "toeplitz_hash",
+    "ArrivalProcess",
+    "CbrProcess",
+    "PoissonProcess",
+    "RampProfile",
+    "OnOffProcess",
+    "triangle_ramp",
+    "gbps_to_pps",
+]

@@ -1,0 +1,94 @@
+"""The NIC port: a set of Rx queues (RSS) plus interrupt support.
+
+Poll-mode users (DPDK, Metronome) simply call ``rx_burst`` on queues.
+The XDP baseline additionally uses :meth:`NicPort.irq_arm`: when
+interrupts are enabled for a queue, the NIC raises the line as soon as
+the next packet hits the wire (interrupt-mitigation pacing is layered on
+top by :mod:`repro.xdp.driver`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro import config
+from repro.nic.flows import FlowSet
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import ArrivalProcess
+from repro.sim.core import Handle, Simulator
+
+
+class NicPort:
+    """One physical port with ``len(processes)`` RSS receive queues."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        processes: List[ArrivalProcess],
+        flows: Optional[FlowSet] = None,
+        ring_size: int = config.DEFAULT_RX_RING,
+        sample_every: int = config.LATENCY_SAMPLE_EVERY,
+    ):
+        if not processes:
+            raise ValueError("a port needs at least one queue")
+        self.sim = sim
+        self.flows = flows or FlowSet()
+        self.queues: List[RxQueue] = [
+            RxQueue(
+                sim,
+                proc,
+                flows=self.flows,
+                ring_size=ring_size,
+                sample_every=sample_every,
+                index=i,
+            )
+            for i, proc in enumerate(processes)
+        ]
+        self._irq_handles: List[Optional[Handle]] = [None] * len(self.queues)
+
+    # ------------------------------------------------------------------ #
+
+    def irq_arm(self, queue_index: int, callback: Callable[[], None]) -> bool:
+        """Enable the Rx interrupt for a queue.
+
+        Fires ``callback`` at the next packet arrival (one-shot, like an
+        MSI-X Rx interrupt with auto-mask).  Returns False if the traffic
+        source is finished and no interrupt will ever fire.
+        """
+        self.irq_disarm(queue_index)
+        queue = self.queues[queue_index]
+        queue.sync()
+        when = queue.next_arrival_after(self.sim.now)
+        if when is None:
+            return False
+        self._irq_handles[queue_index] = self.sim.call_at(
+            when, self._fire_irq, queue_index, callback
+        )
+        return True
+
+    def irq_disarm(self, queue_index: int) -> None:
+        handle = self._irq_handles[queue_index]
+        if handle is not None:
+            handle.cancel()
+            self._irq_handles[queue_index] = None
+
+    def _fire_irq(self, queue_index: int, callback: Callable[[], None]) -> None:
+        self._irq_handles[queue_index] = None
+        callback()
+
+    # ------------------------------------------------------------------ #
+
+    def total_drops(self) -> int:
+        return sum(q.drops for q in self.queues)
+
+    def total_arrived(self) -> int:
+        """Offered load so far (materializes pending arrivals first)."""
+        for q in self.queues:
+            q.sync()
+        return sum(q.arrived_total for q in self.queues)
+
+    def loss_fraction(self) -> float:
+        arrived = self.total_arrived()
+        if arrived == 0:
+            return 0.0
+        return self.total_drops() / arrived

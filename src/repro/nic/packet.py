@@ -1,0 +1,88 @@
+"""Packets and headers.
+
+Only sampled ("tagged") packets are materialized as objects; see the
+package docstring.  Headers carry the fields the three applications
+need: IPv4 addresses and ports for l3fwd's LPM lookup and FloWatcher's
+flow key, plus a payload length for the IPsec gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    """A synthesized IPv4/UDP header (host byte order throughout)."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int = 17  # UDP
+    length: int = 64
+
+    @property
+    def flow_key(self) -> tuple:
+        """The 5-tuple used by FloWatcher and RSS hashing."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+
+
+@dataclass
+class TaggedPacket:
+    """A sampled packet carrying a MoonGen-style timestamp.
+
+    ``seq`` is the global arrival sequence number on its queue;
+    ``arrival_ns`` the (interpolated) wire arrival time.  Applications
+    set ``tx_ns`` when the packet leaves through the Tx buffer, defining
+    the measured latency.
+    """
+
+    __slots__ = ("seq", "arrival_ns", "header", "retrieved_ns", "tx_ns")
+
+    def __init__(self, seq: int, arrival_ns: int, header: PacketHeader):
+        self.seq = seq
+        self.arrival_ns = arrival_ns
+        self.header = header
+        #: when rx_burst popped the packet's descriptor (latency breakdown)
+        self.retrieved_ns = -1
+        self.tx_ns = -1
+
+    @property
+    def latency_ns(self) -> int:
+        """Wire-to-wire latency; valid once transmitted."""
+        if self.tx_ns < 0:
+            raise ValueError(f"packet seq={self.seq} not transmitted yet")
+        return self.tx_ns - self.arrival_ns
+
+    @property
+    def ring_wait_ns(self) -> int:
+        """Time spent in the Rx ring before retrieval (the vacation +
+        drain component of the latency)."""
+        if self.retrieved_ns < 0:
+            raise ValueError(f"packet seq={self.seq} not retrieved yet")
+        return self.retrieved_ns - self.arrival_ns
+
+    @property
+    def egress_wait_ns(self) -> int:
+        """Time from retrieval to the Tx stamp: processing, Tx batching
+        park, and the hardware measurement floor."""
+        if self.tx_ns < 0 or self.retrieved_ns < 0:
+            raise ValueError(f"packet seq={self.seq} incomplete timeline")
+        return self.tx_ns - self.retrieved_ns
+
+    def __repr__(self) -> str:
+        return f"<TaggedPacket seq={self.seq} t={self.arrival_ns}>"
+
+
+def ipv4(a: int, b: int, c: int, d: int) -> int:
+    """Build an IPv4 address as an int from dotted components."""
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad octet {octet}")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def format_ipv4(addr: int) -> str:
+    """Dotted-quad string for an int IPv4 address."""
+    return f"{(addr >> 24) & 255}.{(addr >> 16) & 255}.{(addr >> 8) & 255}.{addr & 255}"

@@ -1,0 +1,198 @@
+"""The event loop: a binary-heap calendar queue over an integer ns clock.
+
+The design favours raw speed: scheduling a callback is a single
+``heappush`` of a 4-tuple and the hot loop in :meth:`Simulator.run` is a
+tight ``heappop`` cycle.  Cancellation is handled with a tombstone flag
+(index 3 of the entry) rather than heap surgery, which is the standard
+trick for high-churn timer queues.
+
+Two levels of abstraction are offered:
+
+* raw callbacks (:meth:`Simulator.call_at` / :meth:`Simulator.call_after`)
+  used by the performance-critical subsystems (scheduler, NIC);
+* :class:`Event` objects, used where several parties need to wait on one
+  occurrence (process joins, IRQ lines, experiment completion).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+class Handle:
+    """A cancellable reference to a scheduled callback.
+
+    ``Handle`` wraps the mutable heap entry; calling :meth:`cancel` marks
+    the entry dead without touching the heap, and the run loop discards it
+    on pop.
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    @property
+    def time(self) -> int:
+        """The simulated time at which the callback is due."""
+        return self._entry[0]
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the callback fired."""
+        return self._entry[3] is None
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self._entry[3] = None
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event starts untriggered; :meth:`succeed` fires it exactly once,
+    delivering an optional value to every registered callback.  Callbacks
+    added after the event fired run immediately (same simulated instant).
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, invoking all waiters synchronously.
+
+        Raises :class:`SimulationError` if the event already fired.
+        """
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; runs now if already triggered."""
+        if self.triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Simulator:
+    """The discrete-event loop and virtual clock.
+
+    Attributes:
+        now: current simulated time in integer nanoseconds.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[list] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Scheduling primitives
+    # ------------------------------------------------------------------ #
+
+    def call_at(self, when: int, fn: Callable[..., None], *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={when} (now={self.now}): time travels forward"
+            )
+        self._seq += 1
+        entry = [when, self._seq, args, fn]
+        heapq.heappush(self._heap, entry)
+        return Handle(entry)
+
+    def call_after(self, delay: int, fn: Callable[..., None], *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout_event(self, delay: int, value: Any = None) -> Event:
+        """An :class:`Event` that fires automatically after ``delay`` ns."""
+        ev = Event(self)
+        self.call_after(delay, ev.succeed, value)
+        return ev
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """Run the single earliest pending callback.
+
+        Returns False when the calendar is empty (nothing ran).
+        """
+        heap = self._heap
+        while heap:
+            when, _seq, args, fn = heapq.heappop(heap)
+            if fn is None:  # tombstone from Handle.cancel()
+                continue
+            self.now = when
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run callbacks until the calendar empties or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced exactly to ``until``
+        even if the last event fired earlier, so measurement windows have a
+        well-defined end time.
+        """
+        if self._running:
+            raise SimulationError("simulator is re-entrant only via step()")
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap and not self._stopped:
+                if until is not None and heap[0][0] > until:
+                    break
+                when, _seq, args, fn = pop(heap)
+                if fn is None:
+                    continue
+                self.now = when
+                fn(*args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled entries (including tombstones)."""
+        return len(self._heap)
+
+    def peek(self) -> Optional[int]:
+        """Time of the next live scheduled callback, or None if empty."""
+        heap = self._heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

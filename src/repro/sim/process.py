@@ -1,0 +1,127 @@
+"""Generator-coroutine processes on top of the event loop.
+
+A process is a Python generator that yields *wait requests*:
+
+* ``Timeout(delay)`` — resume after ``delay`` ns;
+* ``WaitEvent(event)`` — resume when the event fires (receives its value);
+* ``WaitProcess(process)`` — resume when another process finishes;
+* a bare :class:`~repro.sim.core.Event` is accepted as shorthand for
+  ``WaitEvent``.
+
+Processes are used for the "environment" actors (traffic ramps, governor
+samplers, experiment orchestration).  CPU-bound *threads* are not sim
+processes — they are driven by the kernel scheduler (see
+:mod:`repro.kernel.thread`) so that compute time, preemption and dispatch
+latency are modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+
+class Timeout:
+    """Wait request: resume the process after ``delay`` nanoseconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+        self.value = value
+
+
+class WaitEvent:
+    """Wait request: resume when ``event`` triggers, yielding its value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+
+class WaitProcess:
+    """Wait request: resume when ``process`` terminates, yielding its result."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process"):
+        self.process = process
+
+
+class Process:
+    """Drives a generator through the simulator until it returns.
+
+    The generator's ``return`` value becomes :attr:`result` and is
+    delivered through :attr:`done` (an :class:`Event`), so processes can
+    be joined with ``yield WaitProcess(p)`` or ``yield p.done``.
+
+    An exception raised inside the generator is re-raised out of the
+    simulator run loop — silent failure would invalidate experiments.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "process"):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.done: Event = sim.event()
+        self.result: Any = None
+        self.alive = True
+        sim.call_after(0, self._resume, None)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} ({state})>"
+
+    # ------------------------------------------------------------------ #
+
+    def _resume(self, send_value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            request = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._handle(request)
+
+    def _handle(self, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self.sim.call_after(request.delay, self._resume, request.value)
+        elif isinstance(request, WaitEvent):
+            request.event.add_callback(lambda ev: self._resume(ev.value))
+        elif isinstance(request, WaitProcess):
+            request.process.done.add_callback(lambda ev: self._resume(ev.value))
+        elif isinstance(request, Event):
+            request.add_callback(lambda ev: self._resume(ev.value))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported request {request!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        self.done.succeed(result)
+
+    def interrupt(self) -> None:
+        """Terminate the process without resuming it again.
+
+        The ``done`` event fires with result ``None``; generators holding
+        resources should use try/finally if they need cleanup.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.gen.close()
+        self.result = None
+        if not self.done.triggered:
+            self.done.succeed(None)
+
+
+def spawn(sim: Simulator, gen: Generator, name: Optional[str] = None) -> Process:
+    """Convenience constructor for :class:`Process`."""
+    return Process(sim, gen, name or getattr(gen, "__name__", "process"))

@@ -1,0 +1,31 @@
+"""Time units for the simulator's integer-nanosecond clock.
+
+All simulator timestamps and durations are plain Python ints measured in
+nanoseconds.  These constants and converters keep call sites readable:
+``sim.call_after(10 * US, fn)`` instead of ``sim.call_after(10_000, fn)``.
+"""
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def us_to_ns(us: float) -> int:
+    """Convert a (possibly fractional) microsecond count to integer ns."""
+    return int(round(us * US))
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert nanoseconds to (float) microseconds."""
+    return ns / US
+
+
+def ns_to_ms(ns: int) -> float:
+    """Convert nanoseconds to (float) milliseconds."""
+    return ns / MS
+
+
+def ns_to_sec(ns: int) -> float:
+    """Convert nanoseconds to (float) seconds."""
+    return ns / SEC

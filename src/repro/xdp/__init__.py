@@ -1,0 +1,10 @@
+"""The XDP baseline (paper §5.5): interrupt-driven kernel packet path.
+
+XDP binds each Rx queue 1:1 to a CPU core; packets are delivered through
+the NAPI interrupt→poll state machine rather than busy polling.  See
+:mod:`repro.xdp.driver`.
+"""
+
+from repro.xdp.driver import XdpDriver, XdpQueueDriver
+
+__all__ = ["XdpDriver", "XdpQueueDriver"]

@@ -1,0 +1,118 @@
+"""Tests for the from-scratch AES-128: NIST vectors + properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.aes import (
+    AES128,
+    AesCbc,
+    expand_key,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+# FIPS-197 Appendix C.1
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# NIST SP 800-38A F.2.1/F.2.2 (CBC-AES128)
+NIST_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+NIST_BLOCKS = [
+    ("6bc1bee22e409f96e93d7e117393172a",
+     "7649abac8119b246cee98e9b12e9197d"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51",
+     "5086cb9b507219ee95db113a917678b2"),
+]
+
+
+def test_fips197_encrypt():
+    assert AES128(FIPS_KEY).encrypt_block(FIPS_PT) == FIPS_CT
+
+
+def test_fips197_decrypt():
+    assert AES128(FIPS_KEY).decrypt_block(FIPS_CT) == FIPS_PT
+
+
+def test_sp800_38a_cbc_chain():
+    pt = bytes.fromhex(NIST_BLOCKS[0][0] + NIST_BLOCKS[1][0])
+    expected = bytes.fromhex(NIST_BLOCKS[0][1] + NIST_BLOCKS[1][1])
+    assert AesCbc(NIST_KEY).encrypt_raw(pt, NIST_IV) == expected
+
+
+def test_key_schedule_first_and_last_words():
+    """FIPS-197 A.1 key expansion spot checks."""
+    rks = expand_key(NIST_KEY)
+    assert len(rks) == 11
+    assert bytes(rks[0]) == NIST_KEY
+    # w[43] for this key is b6:63:0c:a6 (last word of round key 10)
+    assert bytes(rks[10][12:16]) == bytes.fromhex("b6630ca6")
+
+
+def test_wrong_key_fails_decryption():
+    ct = AES128(FIPS_KEY).encrypt_block(FIPS_PT)
+    other = AES128(bytes(16))
+    assert other.decrypt_block(ct) != FIPS_PT
+
+
+def test_block_size_enforced():
+    with pytest.raises(ValueError):
+        AES128(FIPS_KEY).encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        AES128(b"shortkey")
+
+
+def test_pkcs7_pad_roundtrip():
+    for n in range(0, 40):
+        data = bytes(range(n % 256))[:n]
+        padded = pkcs7_pad(data)
+        assert len(padded) % 16 == 0
+        assert len(padded) > len(data)
+        assert pkcs7_unpad(padded) == data
+
+
+def test_pkcs7_bad_padding_rejected():
+    with pytest.raises(ValueError):
+        pkcs7_unpad(b"")
+    with pytest.raises(ValueError):
+        pkcs7_unpad(b"A" * 15 + b"\x05")
+    with pytest.raises(ValueError):
+        pkcs7_unpad(b"A" * 16 + b"\x00" * 16)
+
+
+def test_cbc_iv_must_be_block_sized():
+    with pytest.raises(ValueError):
+        AesCbc(NIST_KEY).encrypt(b"data", b"short-iv")
+
+
+def test_cbc_identical_blocks_encrypt_differently():
+    """The chaining property: repeated plaintext blocks diverge."""
+    pt = b"A" * 32
+    ct = AesCbc(NIST_KEY).encrypt_raw(pt, NIST_IV)
+    assert ct[:16] != ct[16:32]
+
+
+def test_cbc_iv_sensitivity():
+    pt = b"B" * 16
+    c1 = AesCbc(NIST_KEY).encrypt_raw(pt, NIST_IV)
+    c2 = AesCbc(NIST_KEY).encrypt_raw(pt, bytes(16))
+    assert c1 != c2
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(min_size=0, max_size=200),
+       key=st.binary(min_size=16, max_size=16),
+       iv=st.binary(min_size=16, max_size=16))
+def test_property_cbc_roundtrip(data, key, iv):
+    cbc = AesCbc(key)
+    assert cbc.decrypt(cbc.encrypt(data, iv), iv) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(block=st.binary(min_size=16, max_size=16),
+       key=st.binary(min_size=16, max_size=16))
+def test_property_block_roundtrip(block, key):
+    cipher = AES128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

@@ -1,0 +1,133 @@
+"""Unit and property tests for the cuckoo hash table."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cuckoo import CuckooHash
+
+
+def test_basic_insert_get():
+    t = CuckooHash(64)
+    t.insert(("k",), 1)
+    assert t.get(("k",)) == 1
+    assert ("k",) in t
+    assert len(t) == 1
+
+
+def test_missing_key_default():
+    t = CuckooHash(64)
+    assert t.get("missing") is None
+    assert t.get("missing", -1) == -1
+    assert "missing" not in t
+
+
+def test_update_in_place():
+    t = CuckooHash(64)
+    t.insert("k", 1)
+    t.insert("k", 2)
+    assert t.get("k") == 2
+    assert len(t) == 1
+
+
+def test_delete():
+    t = CuckooHash(64)
+    t.insert("k", 1)
+    assert t.delete("k")
+    assert "k" not in t
+    assert not t.delete("k")
+    assert len(t) == 0
+
+
+def test_five_tuple_keys():
+    t = CuckooHash(1024)
+    key = (0x0A000001, 0xC0A80001, 5000, 53, 17)
+    t.insert(key, 3)
+    assert t.get(key) == 3
+    assert t.get((0x0A000001, 0xC0A80001, 5000, 53, 6)) is None
+
+
+def test_fills_to_high_load_with_displacement():
+    t = CuckooHash(1024)
+    n = int(t.capacity * 0.9)
+    for i in range(n):
+        t.insert(i, i * 2)
+    assert len(t) == n
+    assert t.load_factor() >= 0.89
+    for i in range(n):
+        assert t.get(i) == i * 2
+
+
+def test_overfull_raises():
+    t = CuckooHash(64)
+    with pytest.raises(RuntimeError):
+        for i in range(t.capacity + 1):
+            t.insert(i, i)
+
+
+def test_items_iteration():
+    t = CuckooHash(256)
+    expected = {}
+    for i in range(100):
+        t.insert(i, str(i))
+        expected[i] = str(i)
+    assert dict(t.items()) == expected
+
+
+def test_too_small_capacity_rejected():
+    with pytest.raises(ValueError):
+        CuckooHash(4)
+
+
+def test_randomized_against_dict():
+    rng = random.Random(7)
+    t = CuckooHash(2048)
+    model = {}
+    for _ in range(5000):
+        op = rng.random()
+        key = rng.randint(0, 500)
+        if op < 0.6:
+            if len(model) < t.capacity * 0.9 or key in model:
+                t.insert(key, key * 3)
+                model[key] = key * 3
+        elif op < 0.9:
+            assert t.get(key) == model.get(key)
+        else:
+            assert t.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(t) == len(model)
+    for key, value in model.items():
+        assert t.get(key) == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(), min_size=1, max_size=300, unique=True))
+def test_property_all_inserted_keys_retrievable(keys):
+    t = CuckooHash(4096)
+    for i, k in enumerate(keys):
+        t.insert(k, i)
+    for i, k in enumerate(keys):
+        assert t.get(k) == i
+    assert len(t) == len(keys)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.tuples(st.integers(), st.integers()),
+                  min_size=1, max_size=200, unique=True),
+    delete_fraction=st.floats(min_value=0, max_value=1),
+)
+def test_property_delete_leaves_others_intact(keys, delete_fraction):
+    t = CuckooHash(2048)
+    for i, k in enumerate(keys):
+        t.insert(k, i)
+    cut = int(len(keys) * delete_fraction)
+    for k in keys[:cut]:
+        assert t.delete(k)
+    for i, k in enumerate(keys):
+        if i < cut:
+            assert k not in t
+        else:
+            assert t.get(k) == i

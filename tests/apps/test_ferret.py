@@ -1,0 +1,78 @@
+"""Unit tests for the ferret-like interference workload."""
+
+import pytest
+
+from repro.apps.ferret import FerretWorkload
+from repro.sim.units import MS
+
+from tests.conftest import make_machine
+
+
+def test_runs_to_completion_alone():
+    m = make_machine(num_cores=2)
+    w = FerretWorkload(m, total_work_ms=20, num_workers=1, cores=[0])
+    w.start()
+    m.run(until=100 * MS)
+    assert w.done
+    # alone on a core: elapsed ≈ work
+    assert w.elapsed_ms() == pytest.approx(20, rel=0.05)
+
+
+def test_parallel_workers_split_work():
+    m = make_machine(num_cores=4)
+    w = FerretWorkload(m, total_work_ms=30, num_workers=3, cores=[0, 1, 2])
+    w.start()
+    m.run(until=100 * MS)
+    assert w.done
+    # three workers in parallel: ~10ms wall
+    assert w.elapsed_ms() == pytest.approx(10, rel=0.1)
+
+
+def test_contention_doubles_elapsed():
+    m = make_machine(num_cores=2)
+    a = FerretWorkload(m, total_work_ms=20, num_workers=1, cores=[0],
+                       name="a")
+    b = FerretWorkload(m, total_work_ms=20, num_workers=1, cores=[0],
+                       name="b")
+    a.start()
+    b.start()
+    m.run(until=200 * MS)
+    assert a.done and b.done
+    assert a.elapsed_ms() > 30
+
+
+def test_slowdown_helper():
+    m = make_machine(num_cores=2)
+    w = FerretWorkload(m, total_work_ms=10, num_workers=1, cores=[0])
+    w.start()
+    m.run(until=100 * MS)
+    assert w.slowdown_vs(10.0) == pytest.approx(1.0, rel=0.05)
+    with pytest.raises(ValueError):
+        w.slowdown_vs(0)
+
+
+def test_elapsed_before_done_raises():
+    m = make_machine(num_cores=2)
+    w = FerretWorkload(m, total_work_ms=1000, num_workers=1, cores=[0])
+    w.start()
+    m.run(until=1 * MS)
+    with pytest.raises(RuntimeError):
+        w.elapsed_ms()
+
+
+def test_double_start_raises():
+    m = make_machine(num_cores=2)
+    w = FerretWorkload(m, total_work_ms=10, num_workers=1, cores=[0])
+    w.start()
+    with pytest.raises(RuntimeError):
+        w.start()
+
+
+def test_validation():
+    m = make_machine(num_cores=2)
+    with pytest.raises(ValueError):
+        FerretWorkload(m, total_work_ms=0)
+    with pytest.raises(ValueError):
+        FerretWorkload(m, total_work_ms=10, num_workers=0)
+    with pytest.raises(ValueError):
+        FerretWorkload(m, total_work_ms=10, num_workers=2, cores=[0])

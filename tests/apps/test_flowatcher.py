@@ -1,0 +1,129 @@
+"""Unit and property tests for FloWatcher and the count-min sketch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.flowatcher import CountMinSketch, FloWatcherApp
+from repro.nic.flows import FlowSet
+from repro.nic.packet import TaggedPacket
+
+
+def tagged_stream(n, flows=None):
+    flows = flows or FlowSet(num_flows=32)
+    return [TaggedPacket(i, i * 100, flows.header_for(i)) for i in range(n)]
+
+
+def test_counts_flows_exactly():
+    app = FloWatcherApp()
+    pkts = tagged_stream(1000)
+    app.handle(pkts)
+    assert app.packets == 1000
+    assert sum(app.flow_table.values()) == 1000
+    assert 1 < app.flow_count <= 32
+
+
+def test_bytes_accumulated():
+    app = FloWatcherApp()
+    app.handle(tagged_stream(10))
+    assert app.bytes == 640   # 10 × 64B
+
+
+def test_top_flows_sorted():
+    app = FloWatcherApp()
+    app.handle(tagged_stream(2000))
+    top = app.top_flows(5)
+    counts = [c for _k, c in top]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] == max(app.flow_table.values())
+
+
+def test_percentiles():
+    app = FloWatcherApp()
+    app.handle(tagged_stream(2000))
+    assert app.flow_size_percentile(0) == min(app.flow_table.values())
+    assert app.flow_size_percentile(100) == max(app.flow_table.values())
+    p50 = app.flow_size_percentile(50)
+    assert min(app.flow_table.values()) <= p50 <= max(app.flow_table.values())
+
+
+def test_percentile_errors():
+    app = FloWatcherApp()
+    with pytest.raises(ValueError):
+        app.flow_size_percentile(50)     # no flows yet
+    app.handle(tagged_stream(10))
+    with pytest.raises(ValueError):
+        app.flow_size_percentile(101)
+
+
+def test_sketch_never_underestimates():
+    app = FloWatcherApp(sketch_width=512)
+    app.handle(tagged_stream(3000))
+    for key, exact in app.flow_table.items():
+        assert app.sketch.estimate(key) >= exact
+        assert app.sketch_error(key) >= 0
+
+
+def test_sketch_tight_when_wide():
+    app = FloWatcherApp(sketch_width=8192, sketch_depth=4)
+    app.handle(tagged_stream(2000))
+    errors = [app.sketch_error(k) for k in app.flow_table]
+    # few collisions with 32 flows in 8192 columns
+    assert max(errors) <= 2
+
+
+class TestCountMinSketch:
+    def test_basic_counting(self):
+        cms = CountMinSketch(width=64, depth=3)
+        cms.add(("a",), 5)
+        cms.add(("a",), 2)
+        assert cms.estimate(("a",)) >= 7
+        assert cms.total == 7
+
+    def test_unseen_key_estimate(self):
+        cms = CountMinSketch(width=1024, depth=4)
+        cms.add(("x",))
+        # an unseen key collides with at most the single increment
+        assert cms.estimate(("zzz",)) <= 1
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+        cms = CountMinSketch()
+        with pytest.raises(ValueError):
+            cms.add(("k",), -1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(counts=st.dictionaries(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=50),
+        min_size=1, max_size=60,
+    ))
+    def test_property_overestimate_only(self, counts):
+        cms = CountMinSketch(width=256, depth=4)
+        for key, c in counts.items():
+            cms.add((key,), c)
+        for key, c in counts.items():
+            assert cms.estimate((key,)) >= c
+        assert cms.total == sum(counts.values())
+
+    @settings(max_examples=30, deadline=None)
+    @given(counts=st.dictionaries(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=30),
+        min_size=1, max_size=40,
+    ))
+    def test_property_error_bound(self, counts):
+        """CMS guarantee: err <= e/width * total with prob 1-(1/e)^depth;
+        check a loose deterministic-ish version statistically."""
+        cms = CountMinSketch(width=512, depth=5)
+        total = sum(counts.values())
+        for key, c in counts.items():
+            cms.add((key,), c)
+        violations = sum(
+            1 for key, c in counts.items()
+            if cms.estimate((key,)) - c > max(3, 8 * total / 512)
+        )
+        assert violations <= max(1, len(counts) // 10)

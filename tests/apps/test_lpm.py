@@ -1,0 +1,163 @@
+"""Unit and property tests for the LPM tables."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lpm import Dir24_8, LpmTrie
+from repro.nic.packet import ipv4
+
+
+def prefix(addr, depth):
+    """Mask host bits so addr/depth is canonical."""
+    if depth == 0:
+        return 0
+    return addr & ~((1 << (32 - depth)) - 1) & 0xFFFFFFFF
+
+
+class TestTrie:
+    def test_empty_lookup(self):
+        assert LpmTrie().lookup(ipv4(1, 2, 3, 4)) is None
+
+    def test_exact_host_route(self):
+        t = LpmTrie()
+        t.insert(ipv4(10, 0, 0, 1), 32, 7)
+        assert t.lookup(ipv4(10, 0, 0, 1)) == 7
+        assert t.lookup(ipv4(10, 0, 0, 2)) is None
+
+    def test_longest_match_wins(self):
+        t = LpmTrie()
+        t.insert(ipv4(10, 0, 0, 0), 8, 1)
+        t.insert(ipv4(10, 1, 0, 0), 16, 2)
+        t.insert(ipv4(10, 1, 1, 0), 24, 3)
+        assert t.lookup(ipv4(10, 2, 2, 2)) == 1
+        assert t.lookup(ipv4(10, 1, 9, 9)) == 2
+        assert t.lookup(ipv4(10, 1, 1, 200)) == 3
+
+    def test_default_route(self):
+        t = LpmTrie()
+        t.insert(0, 0, 99)
+        assert t.lookup(ipv4(200, 1, 2, 3)) == 99
+
+    def test_replace_route(self):
+        t = LpmTrie()
+        t.insert(ipv4(10, 0, 0, 0), 8, 1)
+        t.insert(ipv4(10, 0, 0, 0), 8, 5)
+        assert t.lookup(ipv4(10, 9, 9, 9)) == 5
+        assert t.size == 1
+
+    def test_delete(self):
+        t = LpmTrie()
+        t.insert(ipv4(10, 0, 0, 0), 8, 1)
+        t.insert(ipv4(10, 1, 0, 0), 16, 2)
+        assert t.delete(ipv4(10, 1, 0, 0), 16)
+        assert t.lookup(ipv4(10, 1, 5, 5)) == 1
+        assert not t.delete(ipv4(10, 1, 0, 0), 16)
+        assert t.size == 1
+
+    def test_host_bits_rejected(self):
+        t = LpmTrie()
+        with pytest.raises(ValueError):
+            t.insert(ipv4(10, 0, 0, 1), 8, 1)
+
+    def test_bad_depth_rejected(self):
+        t = LpmTrie()
+        with pytest.raises(ValueError):
+            t.insert(0, 33, 1)
+
+    def test_routes_dump(self):
+        t = LpmTrie()
+        t.insert(ipv4(10, 0, 0, 0), 8, 1)
+        t.insert(ipv4(192, 168, 0, 0), 16, 2)
+        routes = t.routes()
+        assert (ipv4(10, 0, 0, 0), 8, 1) in routes
+        assert (ipv4(192, 168, 0, 0), 16, 2) in routes
+        assert len(routes) == 2
+
+
+class TestDir24_8:
+    def test_matches_trie_on_basic_routes(self):
+        table = Dir24_8(first_bits=16)
+        table.insert(ipv4(10, 0, 0, 0), 8, 1)
+        table.insert(ipv4(10, 1, 0, 0), 16, 2)
+        table.insert(ipv4(10, 1, 1, 0), 24, 3)
+        assert table.lookup(ipv4(10, 2, 2, 2)) == 1
+        assert table.lookup(ipv4(10, 1, 9, 9)) == 2
+        assert table.lookup(ipv4(10, 1, 1, 200)) == 3
+        assert table.lookup(ipv4(11, 0, 0, 0)) is None
+
+    def test_group_expansion_preserves_covering_route(self):
+        table = Dir24_8(first_bits=16)
+        table.insert(ipv4(10, 1, 0, 0), 16, 1)     # painted on tbl1
+        table.insert(ipv4(10, 1, 7, 0), 24, 2)     # forces a group
+        assert table.lookup(ipv4(10, 1, 7, 9)) == 2
+        assert table.lookup(ipv4(10, 1, 8, 9)) == 1  # seeded from /16
+
+    def test_short_route_after_group_creation(self):
+        table = Dir24_8(first_bits=16)
+        table.insert(ipv4(10, 1, 7, 0), 24, 2)
+        table.insert(ipv4(10, 1, 0, 0), 16, 1)     # painted into group
+        assert table.lookup(ipv4(10, 1, 7, 9)) == 2
+        assert table.lookup(ipv4(10, 1, 8, 9)) == 1
+
+    def test_depth_beyond_coverage_rejected(self):
+        table = Dir24_8(first_bits=16)
+        with pytest.raises(ValueError):
+            table.insert(ipv4(10, 0, 0, 0), 25, 1)
+
+    def test_full_32bit_coverage_at_24(self):
+        table = Dir24_8(first_bits=24)
+        table.insert(ipv4(10, 0, 0, 42), 32, 9)
+        assert table.lookup(ipv4(10, 0, 0, 42)) == 9
+        assert table.lookup(ipv4(10, 0, 0, 43)) is None
+
+    def test_size_counts_distinct_routes(self):
+        table = Dir24_8(first_bits=16)
+        table.insert(ipv4(10, 0, 0, 0), 8, 1)
+        table.insert(ipv4(10, 0, 0, 0), 8, 2)   # replacement
+        assert table.size == 1
+
+    def test_first_bits_bounds(self):
+        with pytest.raises(ValueError):
+            Dir24_8(first_bits=7)
+        with pytest.raises(ValueError):
+            Dir24_8(first_bits=25)
+
+
+def test_randomized_agreement_trie_vs_dir():
+    rng = random.Random(42)
+    trie = LpmTrie()
+    for _ in range(400):
+        depth = rng.randint(1, 24)
+        addr = prefix(rng.getrandbits(32), depth)
+        trie.insert(addr, depth, rng.randint(0, 1000))
+    table = Dir24_8.from_trie(trie, first_bits=16)
+    for _ in range(10_000):
+        a = rng.getrandbits(32)
+        assert trie.lookup(a) == table.lookup(a), f"mismatch at {a:#x}"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    routes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            st.integers(min_value=1, max_value=24),
+            st.integers(min_value=0, max_value=500),
+        ),
+        min_size=1, max_size=40,
+    ),
+    probes=st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                    min_size=1, max_size=60),
+)
+def test_property_dir_agrees_with_trie(routes, probes):
+    trie = LpmTrie()
+    table = Dir24_8(first_bits=16)
+    for addr, depth, hop in routes:
+        canonical = prefix(addr, depth)
+        trie.insert(canonical, depth, hop)
+        table.insert(canonical, depth, hop)
+    for probe in probes:
+        assert trie.lookup(probe) == table.lookup(probe)

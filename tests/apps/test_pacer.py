@@ -1,0 +1,82 @@
+"""Unit tests for the sleep-based traffic pacer extension."""
+
+import pytest
+
+from repro.apps.pacer import SleepPacer
+from repro.sim.units import MS, SEC
+
+from tests.conftest import make_machine
+
+
+def run_pacer(rate_pps, count=200, service="hr_sleep"):
+    m = make_machine(num_cores=2)
+    pacer = SleepPacer(m, rate_pps=rate_pps, count=count,
+                       sleep_service=service)
+    pacer.start()
+    m.run(until=5 * SEC)
+    assert pacer.done
+    return pacer
+
+
+def test_hr_sleep_paces_accurately_at_10kpps():
+    pacer = run_pacer(10_000)
+    assert pacer.rate_error() < 0.02
+
+
+def test_hr_sleep_paces_at_50kpps():
+    pacer = run_pacer(50_000)
+    # 20us gaps: overhead (~4us) absorbed by deadline compensation
+    assert pacer.rate_error() < 0.05
+
+
+def test_nanosleep_cannot_pace_fine_gaps():
+    """At 50 kpps the 20us gap is far below nanosleep's ~58us floor: it
+    still hits the mean rate (catch-up bursts against the absolute
+    deadlines) but the gap distribution degenerates into bursting."""
+    hr = run_pacer(50_000, service="hr_sleep")
+    ns = run_pacer(50_000, service="nanosleep")
+    assert hr.compliance() > 0.9
+    assert ns.compliance() < 0.5
+
+
+def test_nanosleep_ok_at_coarse_gaps():
+    """At 1 kpps (1ms gaps) the 58us overhead is absorbed."""
+    ns = run_pacer(1_000, count=60, service="nanosleep")
+    assert ns.rate_error() < 0.05
+
+
+def test_jitter_ordering():
+    hr = run_pacer(20_000)
+    ns = run_pacer(20_000, service="nanosleep")
+    assert hr.jitter_ns() < ns.jitter_ns()
+
+
+def test_deadline_compensation_no_drift():
+    """Departure k stays near t0 + k/rate: bounded error, no cumulative
+    drift."""
+    pacer = run_pacer(10_000, count=300)
+    t0 = pacer.departures[0]
+    interval = SEC // 10_000
+    errors = [
+        abs((t - t0) - k * interval)
+        for k, t in enumerate(pacer.departures)
+    ]
+    # late wakeups exist, but error does not grow with k
+    first_half = max(errors[: len(errors) // 2])
+    second_half = max(errors[len(errors) // 2:])
+    assert second_half < first_half * 3 + 20_000
+
+
+def test_validation():
+    m = make_machine()
+    with pytest.raises(ValueError):
+        SleepPacer(m, rate_pps=0, count=10)
+    with pytest.raises(ValueError):
+        SleepPacer(m, rate_pps=100, count=0)
+
+
+def test_achieved_rate_needs_departures():
+    m = make_machine()
+    pacer = SleepPacer(m, rate_pps=1000, count=10)
+    with pytest.raises(RuntimeError):
+        pacer.achieved_rate_pps()

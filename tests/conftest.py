@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.kernel.machine import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A quiet 4-core machine (no OS noise) for deterministic tests."""
+    return Machine(SimConfig(num_cores=4, os_noise=False, seed=1234))
+
+
+@pytest.fixture
+def noisy_machine() -> Machine:
+    """A machine with OS noise enabled."""
+    return Machine(SimConfig(num_cores=4, os_noise=True, seed=1234))
+
+
+def make_machine(**overrides) -> Machine:
+    """Helper for tests that need custom configs."""
+    defaults = dict(num_cores=4, os_noise=False, seed=1234)
+    defaults.update(overrides)
+    return Machine(SimConfig(**defaults))

@@ -1,0 +1,91 @@
+"""Unit tests for renewal-cycle tracking."""
+
+import pytest
+
+from repro.core.cycles import CycleRecord, CycleStats, QueueCycleTracker
+
+
+def make_record(v=10, b=20, nv=100, nb=50):
+    return CycleRecord(start_ns=1000, vacation_ns=v, busy_ns=b,
+                       n_vacation=nv, n_busy=nb, thread_name="t0")
+
+
+def test_record_properties():
+    r = make_record(v=10, b=30)
+    assert r.total_ns == 40
+    assert r.utilization_sample == pytest.approx(0.75)
+
+
+def test_zero_cycle_utilization():
+    r = make_record(v=0, b=0)
+    assert r.utilization_sample == 0.0
+
+
+def test_tracker_full_cycle():
+    tracker = QueueCycleTracker(start_ns=0)
+    v = tracker.begin_busy(100, backlog=42)
+    assert v == 100
+    tracker.note_packets(42)
+    tracker.note_packets(13)
+    record = tracker.end_busy(150, "worker")
+    assert record.vacation_ns == 100
+    assert record.busy_ns == 50
+    assert record.n_vacation == 42
+    assert record.n_busy == 13
+    assert record.thread_name == "worker"
+    # next vacation measured from this release
+    v2 = tracker.begin_busy(250, backlog=7)
+    assert v2 == 100
+
+
+def test_tracker_double_begin_raises():
+    tracker = QueueCycleTracker()
+    tracker.begin_busy(10, 0)
+    with pytest.raises(RuntimeError):
+        tracker.begin_busy(20, 0)
+
+
+def test_tracker_end_without_begin_raises():
+    tracker = QueueCycleTracker()
+    with pytest.raises(RuntimeError):
+        tracker.end_busy(10, "x")
+
+
+def test_tracker_note_outside_busy_raises():
+    tracker = QueueCycleTracker()
+    with pytest.raises(RuntimeError):
+        tracker.note_packets(1)
+
+
+def test_stats_aggregation():
+    stats = CycleStats()
+    stats.add(make_record(v=10, b=20, nv=100))
+    stats.add(make_record(v=30, b=40, nv=200))
+    assert stats.count == 2
+    assert stats.mean_vacation_ns() == 20
+    assert stats.mean_busy_ns() == 30
+    assert stats.mean_n_vacation() == 150
+    assert stats.vacations_ns() == [10, 30]
+
+
+def test_stats_empty_raises():
+    stats = CycleStats()
+    with pytest.raises(ValueError):
+        stats.mean_vacation_ns()
+
+
+def test_stats_record_cap():
+    stats = CycleStats(max_records=3)
+    for _ in range(10):
+        stats.add(make_record())
+    assert stats.count == 10
+    assert len(stats.records) == 3
+    # aggregates still exact
+    assert stats.mean_vacation_ns() == 10
+
+
+def test_stats_no_records_mode():
+    stats = CycleStats(keep_records=False)
+    stats.add(make_record())
+    assert stats.records == []
+    assert stats.count == 1

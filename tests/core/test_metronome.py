@@ -1,0 +1,178 @@
+"""Integration-level tests for the Metronome thread group."""
+
+import pytest
+
+from repro import config
+from repro.core.metronome import MetronomeGroup
+from repro.core.tuning import AdaptiveTuner, FixedTuner
+from repro.dpdk.app import CountingApp
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import CbrProcess
+from repro.sim.units import MS, SEC, US
+
+from tests.conftest import make_machine
+
+
+def build_group(machine, rate=1_000_000, m=3, **kwargs):
+    q = RxQueue(machine.sim, CbrProcess(rate), sample_every=64)
+    kwargs.setdefault("tuner", AdaptiveTuner(
+        vbar_ns=10 * US, tl_ns=500 * US, m=m, initial_rho=0.3))
+    group = MetronomeGroup(machine, [q], CountingApp(),
+                           num_threads=m, cores=list(range(m)), **kwargs)
+    group.start()
+    return q, group
+
+
+def test_forwards_without_loss_at_moderate_rate():
+    m = make_machine(num_cores=4)
+    q, group = build_group(m, rate=5_000_000)
+    m.run(until=30 * MS)
+    q.sync()
+    assert q.drops == 0
+    assert group.total_packets >= q.arrived_total - 200
+
+
+def test_line_rate_no_loss():
+    m = make_machine(num_cores=4)
+    q, group = build_group(m, rate=config.LINE_RATE_PPS)
+    m.run(until=30 * MS)
+    assert group.loss_fraction() < 1e-4
+
+
+def test_cpu_usage_below_polling():
+    m = make_machine(num_cores=4)
+    _q, _group = build_group(m, rate=1_000_000)
+    m.run(until=30 * MS)
+    assert m.cpu_utilization([0, 1, 2]) < 0.5
+
+
+def test_lock_exclusivity_invariant():
+    """At most one thread ever holds a queue lock; enforced by the
+    TryLock itself (re-acquisition raises)."""
+    m = make_machine(num_cores=4)
+    _q, group = build_group(m, rate=8_000_000)
+    m.run(until=20 * MS)
+    # the run completing without RuntimeError is the invariant check;
+    # sanity: the lock was actually exercised
+    assert group.shared[0].lock.acquisitions > 100
+
+
+def test_busy_tries_happen_under_load():
+    m = make_machine(num_cores=4)
+    _q, group = build_group(m, rate=config.LINE_RATE_PPS)
+    m.run(until=20 * MS)
+    assert group.busy_tries > 0
+    assert group.busy_try_fraction() < 1.0
+
+
+def test_cycles_recorded():
+    m = make_machine(num_cores=4)
+    _q, group = build_group(m, rate=5_000_000)
+    m.run(until=20 * MS)
+    cs = group.cycle_stats()
+    assert cs.count > 100
+    assert cs.mean_busy_ns() > 0
+    assert cs.mean_vacation_ns() > 0
+
+
+def test_adaptation_tracks_load_change():
+    m = make_machine(num_cores=4)
+    from repro.nic.traffic import RampProfile
+
+    profile = RampProfile([(0, 500_000), (20 * MS, 13_000_000)])
+    q = RxQueue(m.sim, profile, sample_every=64)
+    tuner = AdaptiveTuner(vbar_ns=10 * US, tl_ns=500 * US, m=3)
+    group = MetronomeGroup(m, [q], CountingApp(), tuner=tuner,
+                           num_threads=3, cores=[0, 1, 2])
+    group.start()
+    m.run(until=20 * MS)
+    rho_light = tuner.rho
+    m.run(until=40 * MS)
+    rho_heavy = tuner.rho
+    assert rho_heavy > rho_light + 0.2
+    # and Ts contracted accordingly
+    assert group.tuner.ts_ns() < 3 * 10 * US
+
+
+def test_iteration_bounded_run_exits():
+    m = make_machine(num_cores=4)
+    q = RxQueue(m.sim, CbrProcess(0))
+    group = MetronomeGroup(
+        m, [q], CountingApp(),
+        tuner=FixedTuner(ts_ns=20 * US, tl_ns=20 * US),
+        num_threads=2, cores=[0, 1], iterations=50,
+    )
+    group.start()
+    m.run(until=100 * MS)
+    assert group.all_done()
+    assert all(s.iterations == 50 for s in group.thread_stats)
+
+
+def test_primary_backup_roles_under_load():
+    m = make_machine(num_cores=4)
+    _q, group = build_group(m, rate=config.LINE_RATE_PPS)
+    m.run(until=20 * MS)
+    total_primary = sum(s.primary_rounds for s in group.thread_stats)
+    total_backup = sum(s.backup_rounds for s in group.thread_stats)
+    # backups exist (threads do find the queue already served)...
+    assert total_backup > 0
+    # ...but the serving thread wakes every T_S while backups wake every
+    # T_L >> T_S, so primary rounds dominate the count
+    assert total_primary > total_backup
+    # role rotation: every thread got to be primary and backup
+    assert all(s.primary_rounds > 0 for s in group.thread_stats)
+    assert all(s.backup_rounds > 0 for s in group.thread_stats)
+
+
+def test_latency_recorded():
+    m = make_machine(num_cores=4)
+    _q, group = build_group(m, rate=5_000_000)
+    m.run(until=20 * MS)
+    assert group.latency.count > 100
+    # floor + vacation-bounded: sane range
+    assert 5.0 < group.latency.mean() / 1e3 < 60.0
+
+
+def test_flush_before_sleep_caps_latency():
+    m1 = make_machine(num_cores=4)
+    _q1, g1 = build_group(m1, rate=200_000, flush_before_sleep=False)
+    m1.run(until=40 * MS)
+    m2 = make_machine(num_cores=4)
+    _q2, g2 = build_group(m2, rate=200_000, flush_before_sleep=True)
+    m2.run(until=40 * MS)
+    # without flushing, sub-batch residue parks across vacations
+    assert g2.latency.percentile(99) < g1.latency.percentile(99)
+
+
+def test_requires_queue():
+    m = make_machine()
+    with pytest.raises(ValueError):
+        MetronomeGroup(m, [], CountingApp())
+
+
+def test_cannot_start_twice():
+    m = make_machine(num_cores=4)
+    _q, group = build_group(m)
+    with pytest.raises(RuntimeError):
+        group.start()
+
+
+def test_cores_must_match_threads():
+    m = make_machine(num_cores=4)
+    q = RxQueue(m.sim, CbrProcess(1000))
+    with pytest.raises(ValueError):
+        MetronomeGroup(m, [q], CountingApp(), num_threads=3, cores=[0, 1])
+
+
+def test_two_queues_shared():
+    m = make_machine(num_cores=4)
+    q1 = RxQueue(m.sim, CbrProcess(2_000_000), sample_every=64, index=0)
+    q2 = RxQueue(m.sim, CbrProcess(2_000_000), sample_every=64, index=1)
+    group = MetronomeGroup(m, [q1, q2], CountingApp(),
+                           num_threads=3, cores=[0, 1, 2])
+    group.start()
+    m.run(until=20 * MS)
+    q1.sync(), q2.sync()
+    assert q1.drops == 0 and q2.drops == 0
+    assert group.shared[0].cycles.count > 0
+    assert group.shared[1].cycles.count > 0

@@ -1,0 +1,258 @@
+"""Unit and property tests for the analytical model (paper §4.2, App. C)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    busy_given_vacation,
+    cdf_vacation,
+    mean_vacation_general,
+    mean_vacation_general_exact,
+    mean_vacation_high_load,
+    mean_vacation_low_load,
+    pdf_vacation,
+    prob_backup_success,
+    rho_from_periods,
+    ts_for_target_vacation,
+    vacation_atom_at_ts,
+)
+
+
+class TestBusyPeriod:
+    def test_eq3_examples(self):
+        # rho=0.5: B = V
+        assert busy_given_vacation(10.0, 0.5) == pytest.approx(10.0)
+        # rho=2/3: B = 2V
+        assert busy_given_vacation(10.0, 2 / 3) == pytest.approx(20.0)
+
+    def test_zero_load(self):
+        assert busy_given_vacation(10.0, 0.0) == 0.0
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError):
+            busy_given_vacation(10.0, 1.0)
+
+    def test_eq4_inverts_eq3(self):
+        for rho in (0.1, 0.35, 0.7, 0.95):
+            b = busy_given_vacation(7.0, rho)
+            assert rho_from_periods(b, 7.0) == pytest.approx(rho)
+
+    def test_rho_from_zero_periods(self):
+        assert rho_from_periods(0.0, 0.0) == 0.0
+
+
+class TestVacationCdf:
+    def test_cdf_boundaries(self):
+        assert cdf_vacation(-1, 10, 500, 3) == 0.0
+        assert cdf_vacation(10, 10, 500, 3) == 1.0
+        assert cdf_vacation(1e9, 10, 500, 3) == 1.0
+
+    def test_cdf_is_monotone(self):
+        xs = [i * 0.5 for i in range(21)]
+        vals = [cdf_vacation(x, 10, 500, 4) for x in xs]
+        assert vals == sorted(vals)
+
+    def test_single_thread_degenerate(self):
+        """M=1: no backups, vacation is deterministic T_S."""
+        assert cdf_vacation(5, 10, 500, 1) == 0.0
+        assert cdf_vacation(10, 10, 500, 1) == 1.0
+
+    def test_pdf_is_cdf_derivative(self):
+        ts, tl, m = 50.0, 500.0, 4
+        h = 1e-6
+        for x in (1.0, 10.0, 30.0, 49.0):
+            numeric = (cdf_vacation(x + h, ts, tl, m)
+                       - cdf_vacation(x - h, ts, tl, m)) / (2 * h)
+            assert pdf_vacation(x, ts, tl, m) == pytest.approx(
+                numeric, rel=1e-4)
+
+    def test_distribution_normalizes(self):
+        """continuous part + atom at T_S = 1."""
+        ts, tl, m = 50.0, 500.0, 3
+        steps = 20_000
+        dx = ts / steps
+        cont = sum(pdf_vacation((i + 0.5) * dx, ts, tl, m) * dx
+                   for i in range(steps))
+        total = cont + vacation_atom_at_ts(ts, tl, m)
+        assert total == pytest.approx(1.0, rel=1e-4)
+
+
+class TestMeanVacation:
+    def test_eq6_by_numeric_integration(self):
+        ts, tl, m = 10.0, 500.0, 3
+        steps = 100_000
+        dx = ts / steps
+        # E[V] = ∫ (1 - CDF) dx over [0, T_S]
+        numeric = sum(
+            (1 - cdf_vacation((i + 0.5) * dx, ts, tl, m)) * dx
+            for i in range(steps)
+        )
+        assert mean_vacation_high_load(ts, tl, m) == pytest.approx(
+            numeric, rel=1e-4)
+
+    def test_eq6_limit_tl_equals_ts(self):
+        # with T_L=T_S and M threads: E[V] = (T_S/M)(1-(1-1)^M) = T_S/M
+        assert mean_vacation_high_load(10, 10, 4) == pytest.approx(10 / 4)
+
+    def test_low_load(self):
+        assert mean_vacation_low_load(30, 3) == 10
+
+    def test_general_exact_matches_numeric_integral(self):
+        ts, tl, m = 10.0, 500.0, 4
+        for p in (0.0, 0.3, 0.7, 1.0):
+            steps = 50_000
+            dx = ts / steps
+            numeric = 0.0
+            for i in range(steps):
+                x = (i + 0.5) * dx
+                numeric += (1 - p * x / ts - (1 - p) * x / tl) ** (m - 1) * dx
+            assert mean_vacation_general_exact(ts, tl, m, p) == pytest.approx(
+                numeric, rel=1e-4)
+
+    def test_general_exact_limits(self):
+        """The published formula transposed T_S/T_L; ours must recover
+        both §4.2 extremes."""
+        ts, tl, m = 10.0, 500.0, 3
+        # p=0 (high load): reduces to eq. (6)
+        assert mean_vacation_general_exact(ts, tl, m, 0.0) == pytest.approx(
+            mean_vacation_high_load(ts, tl, m))
+        # p=1 (low load): reduces to T_S/M
+        assert mean_vacation_general_exact(ts, tl, m, 1.0) == pytest.approx(
+            ts / m)
+
+    def test_eq13_approximation_limits(self):
+        ts, m = 10.0, 3
+        assert mean_vacation_general(ts, m, 0.0) == pytest.approx(ts)
+        assert mean_vacation_general(ts, m, 1.0) == pytest.approx(ts / m)
+
+    def test_eq13_close_to_exact_when_tl_huge(self):
+        ts, m = 10.0, 4
+        tl = 1e6
+        for p in (0.2, 0.5, 0.9):
+            approx = mean_vacation_general(ts, m, p)
+            exact = mean_vacation_general_exact(ts, tl, m, p)
+            assert approx == pytest.approx(exact, rel=1e-3)
+
+
+class TestBackupSuccess:
+    def test_matches_atom_complement(self):
+        ts, tl, m = 10.0, 500.0, 3
+        assert prob_backup_success(ts, tl, m) == pytest.approx(
+            1 - vacation_atom_at_ts(ts, tl, m))
+
+    def test_single_thread_zero(self):
+        assert prob_backup_success(10, 500, 1) == 0.0
+
+    def test_grows_with_m(self):
+        vals = [prob_backup_success(10, 500, m) for m in range(2, 8)]
+        assert vals == sorted(vals)
+
+
+class TestAdaptiveRule:
+    def test_eq12_extremes(self):
+        # eq. 11: high load -> V̄; low load -> M·V̄
+        assert ts_for_target_vacation(10, 3, 1.0) == pytest.approx(10)
+        assert ts_for_target_vacation(10, 3, 0.0) == pytest.approx(30)
+
+    def test_eq12_geometric_identity(self):
+        """M(1-ρ)/(1-ρ^M) == M / (1+ρ+...+ρ^(M-1))."""
+        for rho in (0.1, 0.5, 0.99):
+            m, vbar = 4, 10.0
+            direct = vbar * m * (1 - rho) / (1 - rho ** m)
+            assert ts_for_target_vacation(vbar, m, rho) == pytest.approx(
+                direct)
+
+    def test_eq12_monotone_in_rho(self):
+        vals = [ts_for_target_vacation(10, 3, r / 10) for r in range(11)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_rho_clamped(self):
+        assert ts_for_target_vacation(10, 3, 1.5) == pytest.approx(10)
+        assert ts_for_target_vacation(10, 3, -0.2) == pytest.approx(30)
+
+    def test_closed_loop_consistency(self):
+        """Setting T_S by eq. 12 should produce E[V] = V̄ under the
+        blended model with p = 1-ρ."""
+        vbar, m = 10.0, 3
+        for rho in (0.0, 0.25, 0.5, 0.75, 1.0):
+            ts = ts_for_target_vacation(vbar, m, rho)
+            ev = mean_vacation_general(ts, m, 1 - rho)
+            assert ev == pytest.approx(vbar, rel=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ts=st.floats(min_value=0.5, max_value=100),
+    ratio=st.floats(min_value=1.0, max_value=100),
+    m=st.integers(min_value=1, max_value=10),
+    p=st.floats(min_value=0, max_value=1),
+)
+def test_property_mean_vacation_bounds(ts, ratio, m, p):
+    """E[V] always lies in [T_S/M, T_S]."""
+    tl = ts * ratio
+    ev = mean_vacation_general_exact(ts, tl, m, p)
+    assert ts / m - 1e-9 <= ev <= ts + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    vbar=st.floats(min_value=0.5, max_value=100),
+    m=st.integers(min_value=1, max_value=10),
+    rho=st.floats(min_value=0, max_value=1),
+)
+def test_property_ts_rule_bounds(vbar, m, rho):
+    """T_S from eq. 12 always lies in [V̄, M·V̄]."""
+    ts = ts_for_target_vacation(vbar, m, rho)
+    assert vbar - 1e-9 <= ts <= m * vbar + 1e-9
+
+
+class TestOverflowModel:
+    def test_prob_exceeds_complements_cdf(self):
+        from repro.core.model import prob_vacation_exceeds
+
+        ts, tl, m = 10.0, 500.0, 3
+        for x in (0.0, 3.0, 9.9):
+            assert prob_vacation_exceeds(x, ts, tl, m) == pytest.approx(
+                1 - cdf_vacation(x, ts, tl, m))
+        assert prob_vacation_exceeds(10.0, ts, tl, m) == 0.0
+        assert prob_vacation_exceeds(-1, ts, tl, m) == 1.0
+
+    def test_hr_sleep_regime_never_overflows(self):
+        from repro.core.model import ring_overflow_probability
+
+        # V̄=10us + ~5us overhead at line rate: far under the 1024 ring
+        p = ring_overflow_probability(
+            1024, 14.88e6, ts_ns=10_000, tl_ns=500_000, m=3,
+            wake_overhead_ns=5_000)
+        assert p == 0.0
+
+    def test_nanosleep_regime_overflows(self):
+        from repro.core.model import ring_overflow_probability
+
+        # ~58us overhead: effective vacation crosses 1024/14.88M ≈ 68.8us
+        p = ring_overflow_probability(
+            1024, 14.88e6, ts_ns=12_000, tl_ns=500_000, m=3,
+            wake_overhead_ns=58_000)
+        assert p > 0.9
+
+    def test_bigger_ring_reduces_overflow(self):
+        from repro.core.model import ring_overflow_probability
+
+        small = ring_overflow_probability(
+            1024, 14.88e6, ts_ns=20_000, tl_ns=500_000, m=3,
+            wake_overhead_ns=58_000)
+        big = ring_overflow_probability(
+            2048, 14.88e6, ts_ns=20_000, tl_ns=500_000, m=3,
+            wake_overhead_ns=58_000)
+        assert big < small
+
+    def test_validation(self):
+        from repro.core.model import ring_overflow_probability
+
+        with pytest.raises(ValueError):
+            ring_overflow_probability(0, 1e6, 10, 100, 3)
+        with pytest.raises(ValueError):
+            ring_overflow_probability(1024, 0, 10, 100, 3)

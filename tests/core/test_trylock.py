@@ -1,0 +1,66 @@
+"""Unit tests for the trylock."""
+
+import pytest
+
+from repro.core.trylock import TryLock
+
+
+def test_acquire_release_cycle():
+    lock = TryLock()
+    owner = object()
+    assert lock.try_acquire(owner)
+    assert lock.held
+    assert lock.owner is owner
+    lock.release(owner)
+    assert not lock.held
+
+
+def test_contention_counts_busy_tries():
+    lock = TryLock()
+    a, b = object(), object()
+    assert lock.try_acquire(a)
+    assert not lock.try_acquire(b)
+    assert not lock.try_acquire(b)
+    assert lock.busy_tries == 2
+    assert lock.acquisitions == 1
+
+
+def test_reacquire_by_owner_raises():
+    lock = TryLock()
+    a = object()
+    lock.try_acquire(a)
+    with pytest.raises(RuntimeError):
+        lock.try_acquire(a)
+
+
+def test_release_by_non_owner_raises():
+    lock = TryLock()
+    a, b = object(), object()
+    lock.try_acquire(a)
+    with pytest.raises(RuntimeError):
+        lock.release(b)
+
+
+def test_release_unheld_raises():
+    lock = TryLock()
+    with pytest.raises(RuntimeError):
+        lock.release(object())
+
+
+def test_none_owner_rejected():
+    lock = TryLock()
+    with pytest.raises(ValueError):
+        lock.try_acquire(None)
+
+
+def test_contended_cas_costs_more():
+    assert TryLock.acquire_cost_ns(False) > TryLock.acquire_cost_ns(True)
+
+
+def test_handoff_between_threads():
+    lock = TryLock()
+    a, b = object(), object()
+    lock.try_acquire(a)
+    lock.release(a)
+    assert lock.try_acquire(b)
+    assert lock.acquisitions == 2

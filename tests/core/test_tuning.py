@@ -1,0 +1,92 @@
+"""Unit tests for the ρ estimator and the adaptive T_S controller."""
+
+import pytest
+
+from repro.core.cycles import CycleRecord
+from repro.core.tuning import AdaptiveTuner, FixedTuner
+from repro.sim.units import US
+
+
+def cycle(v_us, b_us):
+    return CycleRecord(start_ns=0, vacation_ns=int(v_us * US),
+                       busy_ns=int(b_us * US), n_vacation=0, n_busy=0,
+                       thread_name="t")
+
+
+def test_fixed_tuner_is_constant():
+    t = FixedTuner(ts_ns=20 * US, tl_ns=500 * US)
+    t.observe(cycle(10, 90))
+    assert t.ts_ns() == 20 * US
+    assert t.tl_ns() == 500 * US
+    assert t.rho == 0.0
+
+
+def test_fixed_tuner_validates():
+    with pytest.raises(ValueError):
+        FixedTuner(ts_ns=0, tl_ns=10)
+
+
+def test_adaptive_converges_to_true_rho():
+    t = AdaptiveTuner(vbar_ns=10 * US, tl_ns=500 * US, m=3, alpha=0.125)
+    for _ in range(100):
+        t.observe(cycle(10, 10))  # rho sample = 0.5
+    assert t.rho == pytest.approx(0.5, abs=0.01)
+
+
+def test_ewma_smooths_noise():
+    t = AdaptiveTuner(vbar_ns=10 * US, tl_ns=500 * US, m=3, alpha=0.1)
+    for i in range(200):
+        if i % 2:
+            t.observe(cycle(10, 30))  # 0.75
+        else:
+            t.observe(cycle(30, 10))  # 0.25
+    assert t.rho == pytest.approx(0.5, abs=0.06)
+
+
+def test_ts_follows_eq12():
+    t = AdaptiveTuner(vbar_ns=10 * US, tl_ns=500 * US, m=3)
+    # no traffic: rho -> 0, Ts -> M*vbar
+    for _ in range(100):
+        t.observe(cycle(30, 0.01))
+    assert t.ts_ns() == pytest.approx(3 * 10 * US, rel=0.02)
+    # saturation: rho -> 1, Ts -> vbar
+    for _ in range(200):
+        t.observe(cycle(0.01, 100))
+    assert t.ts_ns() == pytest.approx(10 * US, rel=0.05)
+
+
+def test_ts_never_exceeds_tl():
+    t = AdaptiveTuner(vbar_ns=200 * US, tl_ns=300 * US, m=5)
+    # rho=0 would give 5*200us = 1ms > TL: clamped
+    assert t.ts_ns() == 300 * US
+
+
+def test_alpha_bounds():
+    with pytest.raises(ValueError):
+        AdaptiveTuner(vbar_ns=10, tl_ns=100, m=3, alpha=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveTuner(vbar_ns=10, tl_ns=100, m=3, alpha=1.5)
+
+
+def test_initial_rho_clamped():
+    t = AdaptiveTuner(vbar_ns=10, tl_ns=100, m=3, initial_rho=2.0)
+    assert t.rho == 1.0
+
+
+def test_history_recording():
+    t = AdaptiveTuner(vbar_ns=10 * US, tl_ns=500 * US, m=3,
+                      record_history=True)
+    for _ in range(5):
+        t.observe(cycle(10, 10))
+    assert len(t.history) == 5
+    assert t.cycles_observed == 5
+    # history rows are (time, rho, ts)
+    _t0, rho, ts = t.history[-1]
+    assert 0 < rho < 1
+    assert ts > 0
+
+
+def test_no_history_by_default():
+    t = AdaptiveTuner(vbar_ns=10 * US, tl_ns=500 * US, m=3)
+    t.observe(cycle(10, 10))
+    assert t.history is None

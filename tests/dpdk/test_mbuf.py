@@ -1,0 +1,55 @@
+"""Unit tests for the mbuf pool."""
+
+import pytest
+
+from repro.dpdk.mbuf import MbufPool, MbufPoolExhausted
+
+
+def test_take_and_give():
+    pool = MbufPool(100)
+    assert pool.take(30) == 30
+    assert pool.available == 70
+    assert pool.in_use == 30
+    pool.give(30)
+    assert pool.available == 100
+
+
+def test_take_partial_when_short():
+    pool = MbufPool(10)
+    assert pool.take(25) == 10
+    assert pool.failures == 15
+    assert pool.available == 0
+
+
+def test_take_strict_raises():
+    pool = MbufPool(10)
+    pool.take(8)
+    with pytest.raises(MbufPoolExhausted):
+        pool.take_strict(5)
+    pool.take_strict(2)
+    assert pool.available == 0
+
+
+def test_overgive_raises():
+    pool = MbufPool(10)
+    pool.take(5)
+    with pytest.raises(ValueError):
+        pool.give(6)
+
+
+def test_negative_args_raise():
+    pool = MbufPool(10)
+    with pytest.raises(ValueError):
+        pool.take(-1)
+    with pytest.raises(ValueError):
+        pool.give(-1)
+    with pytest.raises(ValueError):
+        MbufPool(0)
+
+
+def test_counters():
+    pool = MbufPool(100)
+    pool.take(10)
+    pool.give(4)
+    assert pool.takes == 10
+    assert pool.gives == 4

@@ -1,0 +1,90 @@
+"""Unit and property tests for the SPSC ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpdk.ring_spsc import SpscRing
+
+
+def test_basic_fifo():
+    ring = SpscRing(8)
+    assert ring.enqueue_burst([1, 2, 3]) == 3
+    assert ring.dequeue_burst(2) == [1, 2]
+    assert ring.dequeue_one() == 3
+    assert ring.dequeue_one() is None
+    assert ring.empty
+
+
+def test_capacity_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        SpscRing(100)
+    with pytest.raises(ValueError):
+        SpscRing(1)
+    SpscRing(2)
+    SpscRing(1024)
+
+
+def test_burst_partial_on_full():
+    ring = SpscRing(4)
+    assert ring.enqueue_burst([1, 2, 3]) == 3
+    assert ring.enqueue_burst([4, 5, 6]) == 1
+    assert ring.full
+    assert ring.enqueue_failures == 2
+
+
+def test_bulk_all_or_nothing():
+    ring = SpscRing(4)
+    assert ring.enqueue_bulk([1, 2])
+    assert not ring.enqueue_bulk([3, 4, 5])
+    assert ring.count == 2
+
+
+def test_wraparound():
+    ring = SpscRing(4)
+    for round_ in range(10):
+        assert ring.enqueue_burst([round_ * 10 + i for i in range(3)]) == 3
+        assert ring.dequeue_burst(3) == [round_ * 10 + i for i in range(3)]
+    assert ring.enqueued_total == 30
+    assert ring.dequeued_total == 30
+
+
+def test_negative_dequeue_rejected():
+    ring = SpscRing(4)
+    with pytest.raises(ValueError):
+        ring.dequeue_burst(-1)
+
+
+def test_counters():
+    ring = SpscRing(8)
+    ring.enqueue_burst(list(range(5)))
+    ring.dequeue_burst(2)
+    assert ring.count == 3
+    assert ring.free == 5
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(min_value=0, max_value=20)),
+        st.tuples(st.just("deq"), st.integers(min_value=0, max_value=20)),
+    ),
+    max_size=120,
+))
+def test_property_fifo_order_and_conservation(ops):
+    ring = SpscRing(64)
+    next_value = 0
+    expected = []
+    for op, n in ops:
+        if op == "enq":
+            items = list(range(next_value, next_value + n))
+            accepted = ring.enqueue_burst(items)
+            expected.extend(items[:accepted])
+            next_value += n
+        else:
+            got = ring.dequeue_burst(n)
+            assert got == expected[: len(got)]
+            expected = expected[len(got):]
+        assert 0 <= ring.count <= 64
+    assert ring.count == len(expected)
+    assert ring.dequeue_burst(64) == expected[:64]

@@ -1,0 +1,36 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.harness.report import render_table
+
+
+def test_basic_table():
+    text = render_table("Demo", ["a", "b"], [(1, 2.5), (10, 0.001)])
+    lines = text.splitlines()
+    assert lines[0] == "== Demo =="
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "-+-" in lines[2]
+    assert len(lines) == 5
+
+
+def test_column_alignment():
+    text = render_table("T", ["col"], [(123456.0,)])
+    # large floats get thousands separators
+    assert "123,456" in text
+
+
+def test_note_appended():
+    text = render_table("T", ["x"], [(1,)], note="hello")
+    assert text.splitlines()[-1] == "note: hello"
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        render_table("T", ["a", "b"], [(1,)])
+
+
+def test_float_formats():
+    text = render_table("T", ["x"], [(0.12345,), (12.345,), (0,)])
+    assert "0.123" in text
+    assert "12.35" in text

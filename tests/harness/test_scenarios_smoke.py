@@ -1,0 +1,102 @@
+"""Smoke coverage for every scenario builder at miniature durations.
+
+The benchmarks run these at full length; here each must execute and
+return structurally sound data quickly, so `pytest tests/` alone
+exercises every experiment path.
+"""
+
+from repro.harness import scenarios as sc
+
+
+def test_table1_smoke():
+    rows = sc.table1_sleep_precision(samples=300, targets_us=(1, 50))
+    assert len(rows) == 4
+    for _svc, target, mean, p99 in rows:
+        assert mean >= target
+        assert p99 >= mean * 0.95
+
+
+def test_fig2_smoke():
+    pts = sc.fig2_cpu_energy(iterations=500, timeouts_us=(20,),
+                             thread_counts=(1, 2))
+    assert len(pts) == 4
+    assert all(p.cpu_seconds > 0 and p.energy_j > 0 for p in pts)
+
+
+def test_table2_smoke():
+    rows = sc.table2_vbar_sweep(vbars_us=(10,), duration_ms=10)
+    (vbar, v, b, nv, _loss), = rows
+    assert vbar == 10
+    assert v > 0 and b > 0 and nv > 0
+
+
+def test_fig5_smoke():
+    series = sc.fig5_vacation_pdf(m_values=(3,), duration_ms=40)
+    s, = series
+    assert len(s.bin_centers_us) == len(s.empirical_density)
+    total_mass = sum(s.empirical_density) * (s.bin_centers_us[1]
+                                             - s.bin_centers_us[0])
+    assert 0.3 < total_mass <= 1.05
+
+
+def test_fig6_smoke():
+    rows = sc.fig6_latency_cpu(vbars_us=(5, 20), rates_gbps=(5.0,),
+                               duration_ms=10)
+    assert len(rows) == 2
+
+
+def test_fig7_smoke():
+    rows = sc.fig7_tl_sweep(tls_us=(100, 500), duration_ms=10)
+    assert len(rows) == 2
+    assert all(0 <= bt <= 1 for _tl, bt, _cpu in rows)
+
+
+def test_fig8_smoke():
+    rows = sc.fig8_m_sweep(m_values=(2, 4), duration_ms=10)
+    assert len(rows) == 2
+
+
+def test_fig9_smoke():
+    rows = sc.fig9_latency_vs_m(m_values=(3,), rates_mpps=(5.0,),
+                                duration_ms=10)
+    (_rate, m, box), = rows
+    assert m == 3
+    assert box["q1"] <= box["median"] <= box["q3"]
+
+
+def test_table3_smoke():
+    rows = sc.table3_nanosleep_loss(cases=((1024, 10),), duration_ms=15)
+    (ring, vbar, ns_loss, hr_loss), = rows
+    assert ns_loss > hr_loss
+
+
+def test_fig10_smoke():
+    rows = sc.fig10_latency_boxplots(rates_gbps=(5.0,), vbars_us=(10,),
+                                     duration_ms=10)
+    assert len(rows) == 2   # both services
+
+
+def test_fig11_smoke():
+    result = sc.fig11_adaptation(duration_s=0.3, window_ms=25)
+    assert result.total_delivered > 0
+    assert result.series.values("ts_us")
+
+
+def test_fig13_smoke():
+    rows = sc.fig13_power_governors(rates_gbps=(0.0,),
+                                    governors=("performance",),
+                                    duration_ms=10)
+    assert len(rows) == 2
+    assert all(w > 0 for _g, _s, _r, w, _c in rows)
+
+
+def test_fig15_smoke():
+    rows = sc.fig15_apps(duration_ms=10)
+    apps = {r[0] for r in rows}
+    assert apps == {"ipsec", "flowatcher"}
+
+
+def test_tuned_smoke():
+    out = sc.tuned_low_latency(duration_ms=10)
+    assert set(out) == {"metronome_default", "metronome_tuned", "dpdk"}
+    assert out["metronome_tuned"]["mean_us"] < out["metronome_default"]["mean_us"]

@@ -1,0 +1,40 @@
+"""Reproducibility: identical seeds give identical runs; different
+seeds give (slightly) different ones."""
+
+from repro import config
+from repro.harness.experiment import run_metronome
+
+
+def run(seed):
+    cfg = config.SimConfig(seed=seed)
+    res = run_metronome(5_000_000, duration_ms=15, cfg=cfg)
+    return (
+        res.delivered,
+        res.drops,
+        res.cycles,
+        res.busy_tries,
+        round(res.rho, 12),
+        round(res.latency.mean(), 6),
+        round(res.cpu_utilization, 12),
+    )
+
+
+def test_same_seed_identical():
+    assert run(123) == run(123)
+
+
+def test_different_seed_differs():
+    a = run(123)
+    b = run(456)
+    # deterministic inputs (CBR) keep deliveries equal, but the
+    # stochastic kernel paths must differ somewhere
+    assert a != b
+
+
+def test_seed_streams_isolated():
+    """Changing an unrelated knob must not change the traffic pattern."""
+    cfg1 = config.SimConfig(seed=9)
+    cfg2 = config.SimConfig(seed=9, tx_batch=16)
+    r1 = run_metronome(5_000_000, duration_ms=10, cfg=cfg1)
+    r2 = run_metronome(5_000_000, duration_ms=10, cfg=cfg2)
+    assert r1.offered == r2.offered

@@ -1,0 +1,134 @@
+"""Integration tests: abbreviated versions of the paper's headline claims.
+
+These are short-duration (15-40 ms) renditions of what the benchmarks
+run at full length; each asserts the *direction* of a paper claim so a
+regression anywhere in the stack trips a test, fast.
+"""
+
+import pytest
+
+from repro import config
+from repro.core.tuning import FixedTuner
+from repro.harness.experiment import run_dpdk, run_metronome, run_xdp
+from repro.nic.traffic import gbps_to_pps
+from repro.sim.units import US
+
+LINE = config.LINE_RATE_PPS
+
+
+def cfg(**kw):
+    kw.setdefault("seed", 11)
+    return config.SimConfig(**kw)
+
+
+class TestHeadline:
+    """§1's contribution list, in miniature."""
+
+    def test_metronome_saves_cpu_at_line_rate(self):
+        met = run_metronome(LINE, duration_ms=25, cfg=cfg())
+        assert met.loss_fraction < 1e-3
+        assert met.cpu_utilization < 0.75   # paper: ~60% vs DPDK's 100%
+
+    def test_metronome_matches_dpdk_throughput(self):
+        met = run_metronome(LINE, duration_ms=25, cfg=cfg())
+        dpdk = run_dpdk(LINE, duration_ms=25, cfg=cfg())
+        assert abs(met.throughput_mpps - dpdk.throughput_mpps) < 0.2
+
+    def test_dpdk_latency_lower_but_cpu_constant(self):
+        met = run_metronome(gbps_to_pps(5), duration_ms=25, cfg=cfg())
+        dpdk = run_dpdk(gbps_to_pps(5), duration_ms=25, cfg=cfg())
+        assert dpdk.latency.mean() < met.latency.mean()
+        assert dpdk.cpu_utilization > 0.99
+
+    def test_cpu_proportional_to_load(self):
+        low = run_metronome(gbps_to_pps(0.5), duration_ms=25, cfg=cfg())
+        high = run_metronome(LINE, duration_ms=25, cfg=cfg())
+        assert high.cpu_utilization > 2 * low.cpu_utilization
+
+
+class TestTable2Shape:
+    def test_vacation_scales_with_target(self):
+        res5 = run_metronome(LINE, duration_ms=25, cfg=cfg(vbar_ns=5 * US))
+        res20 = run_metronome(LINE, duration_ms=25, cfg=cfg(vbar_ns=20 * US))
+        assert res20.mean_vacation_us > 1.5 * res5.mean_vacation_us
+        assert res20.mean_n_vacation > 1.5 * res5.mean_n_vacation
+
+    def test_nv_equals_lambda_v(self):
+        """Little's-law self-consistency: N_V ≈ λ·E[V]."""
+        res = run_metronome(LINE, duration_ms=25, cfg=cfg())
+        expected = LINE * res.mean_vacation_us / 1e6
+        assert res.mean_n_vacation == pytest.approx(expected, rel=0.15)
+
+
+class TestSleepServiceClaims:
+    def test_nanosleep_loses_packets_hr_sleep_does_not(self):
+        ns = run_metronome(LINE, duration_ms=25, cfg=cfg(),
+                           sleep_service="nanosleep")
+        hr = run_metronome(LINE, duration_ms=25, cfg=cfg(),
+                           sleep_service="hr_sleep")
+        assert ns.loss_fraction > 0.005
+        assert hr.loss_fraction < 1e-3
+
+    def test_nanosleep_inflates_latency(self):
+        # 5 Gbps, 4096 ring (the paper's footnote setup for lossless
+        # nanosleep latency measurements)
+        ns = run_metronome(gbps_to_pps(5), duration_ms=25,
+                           cfg=cfg(rx_ring_size=4096),
+                           sleep_service="nanosleep")
+        hr = run_metronome(gbps_to_pps(5), duration_ms=25,
+                           cfg=cfg(rx_ring_size=4096),
+                           sleep_service="hr_sleep")
+        assert ns.latency.percentile(50) > hr.latency.percentile(50) + 8_000
+
+
+class TestAdaptationClaims:
+    def test_ts_adapts_between_bounds(self):
+        low = run_metronome(gbps_to_pps(0.2), duration_ms=25, cfg=cfg())
+        high = run_metronome(LINE, duration_ms=25, cfg=cfg())
+        # eq. 11: low load -> M·V̄ = 30us, high load -> toward V̄
+        assert low.ts_us > 25
+        assert high.ts_us < 20
+
+    def test_rho_tracks_offered_load(self):
+        half = run_metronome(gbps_to_pps(5), duration_ms=25, cfg=cfg())
+        full = run_metronome(LINE, duration_ms=25, cfg=cfg())
+        assert full.rho > half.rho > 0.02
+
+
+class TestMultiThreadingClaims:
+    def test_more_threads_more_busy_tries(self):
+        r2 = run_metronome(LINE, duration_ms=25, cfg=cfg(num_cores=8),
+                           num_threads=2, cores=[0, 1])
+        r6 = run_metronome(LINE, duration_ms=25, cfg=cfg(num_cores=8),
+                           num_threads=6, cores=list(range(6)))
+        assert r6.busy_try_fraction > r2.busy_try_fraction
+
+    def test_fixed_equal_timeouts_waste_cpu_at_load(self):
+        """The motivation for primary/backup diversity (§4.1): equal
+        timeouts at high load mean every wakeup races for the queue."""
+        equal = run_metronome(
+            LINE, duration_ms=25, cfg=cfg(),
+            tuner=FixedTuner(ts_ns=10 * US, tl_ns=10 * US),
+        )
+        diverse = run_metronome(
+            LINE, duration_ms=25, cfg=cfg(),
+            tuner=FixedTuner(ts_ns=10 * US, tl_ns=500 * US),
+        )
+        assert equal.busy_tries > 3 * diverse.busy_tries
+        assert equal.cpu_utilization > diverse.cpu_utilization
+
+
+class TestXdpClaims:
+    def test_xdp_zero_cpu_idle_but_loses_burst_reactivity(self):
+        idle = run_xdp(0, duration_ms=25, cfg=cfg(os_noise=False))
+        assert idle.cpu_utilization == 0.0
+        cold = run_xdp(int(13e6), duration_ms=25, cfg=cfg(),
+                       num_queues=4, prewarmed=False)
+        assert cold.drops > 5_000
+        met = run_metronome(LINE, duration_ms=25, cfg=cfg())
+        assert met.drops < cold.drops / 10
+
+    def test_xdp_cpu_exceeds_metronome(self):
+        xdp = run_xdp(gbps_to_pps(1), duration_ms=25, cfg=cfg())
+        met = run_metronome(gbps_to_pps(1), duration_ms=25, cfg=cfg())
+        assert xdp.cpu_utilization > met.cpu_utilization

@@ -1,0 +1,101 @@
+"""Accounting invariants: a core's busy span must decompose exactly
+into thread execution + IRQ time + context switches + C-state stalls.
+
+If any scheduler path leaks or double-counts time, these tests trip.
+"""
+
+from repro import config
+from repro.core.tuning import AdaptiveTuner
+from repro.harness.experiment import run_metronome
+from repro.kernel.thread import Compute, Exit
+from repro.sim.units import MS, US
+
+from tests.conftest import make_machine
+
+
+def core_decomposition_error(machine, core_index):
+    core = machine.cores[core_index]
+    threads_on_core = [
+        t for t in machine.threads if t.core is core
+    ]
+    parts = (
+        sum(t.cputime_ns for t in threads_on_core)
+        + core.irq_ns
+        + core.switch_ns
+        + core.exit_stall_ns
+        # charged IRQ time whose busy window hasn't elapsed at the
+        # sampling instant (e.g. a daemon burst at the run bound)
+        - machine.scheduler.inflight_irq_ns(core)
+    )
+    span = core.total_busy_ns()
+    return abs(span - parts), span
+
+
+def test_conservation_compute_only():
+    m = make_machine(num_cores=2)
+
+    def worker(kt):
+        for _ in range(50):
+            yield Compute(100 * US)
+        yield Exit()
+
+    m.spawn(worker, name="w", core=0)
+    m.run()
+    err, span = core_decomposition_error(m, 0)
+    assert span >= 5 * MS
+    assert err <= span * 0.001 + 10
+
+
+def test_conservation_with_sleeps():
+    m = make_machine(num_cores=2)
+
+    def sleeper(kt):
+        service = m.sleep_service("hr_sleep")
+        for _ in range(200):
+            yield Compute(5 * US)
+            yield from service.call(kt, 30 * US)
+        yield Exit()
+
+    m.spawn(sleeper, name="s", core=0)
+    m.run()
+    err, span = core_decomposition_error(m, 0)
+    assert err <= span * 0.001 + 10
+
+
+def test_conservation_with_contention_and_noise():
+    m = make_machine(num_cores=2, os_noise=True)
+
+    def worker(name):
+        def body(kt):
+            for _ in range(40):
+                yield Compute(200 * US)
+            yield Exit()
+        return body
+
+    m.spawn(worker("a"), name="a", core=0, nice=0)
+    m.spawn(worker("b"), name="b", core=0, nice=5)
+    m.run(until=60 * MS)
+    err, span = core_decomposition_error(m, 0)
+    assert err <= span * 0.001 + 10
+
+
+def test_conservation_full_metronome_run():
+    """End-to-end: the invariant holds under the full Metronome stack."""
+    res = run_metronome(
+        config.LINE_RATE_PPS, duration_ms=15,
+        cfg=config.SimConfig(seed=3, num_cores=4),
+    )
+    m = res.machine
+    for core_index in range(3):
+        err, span = core_decomposition_error(m, core_index)
+        assert span > 0
+        assert err <= span * 0.002 + 50, f"core {core_index} leaked {err}ns"
+
+
+def test_idle_cores_accrue_nothing():
+    m = make_machine(num_cores=4)
+    m.run_for(20 * MS)
+    for core in m.cores:
+        assert core.total_busy_ns() == 0
+        assert core.irq_ns == 0
+        assert core.switch_ns == 0

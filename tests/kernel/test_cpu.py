@@ -1,0 +1,92 @@
+"""Unit tests for Core accounting and work/wall conversion."""
+
+import pytest
+
+from repro import config
+from repro.kernel.cpu import default_cold_penalty
+from repro.sim.units import MS, US
+
+from tests.conftest import make_machine
+
+
+def test_identity_at_base_frequency():
+    m = make_machine()
+    core = m.cores[0]
+    assert core.work_to_wall(12345) == 12345
+    assert core.wall_to_work(12345) == 12345
+
+
+def test_conversion_at_reduced_frequency():
+    m = make_machine()
+    core = m.cores[0]
+    core.freq = core.base_freq // 2
+    assert core.work_to_wall(1000) == 2000
+    assert core.wall_to_work(2000) == 1000
+
+
+def test_conversion_roundtrip_never_loses_work():
+    m = make_machine()
+    core = m.cores[0]
+    core.freq = 800_000_000
+    for work in (1, 7, 999, 123_456):
+        wall = core.work_to_wall(work)
+        assert core.wall_to_work(wall) >= work
+
+
+def test_zero_work_zero_wall():
+    m = make_machine()
+    core = m.cores[0]
+    core.freq = core.base_freq // 3
+    assert core.work_to_wall(0) == 0
+
+
+def test_busy_idle_transitions():
+    m = make_machine()
+    core = m.cores[0]
+    assert not core.is_busy
+    assert core.idle_duration() == 0
+    core.mark_busy()
+    assert core.is_busy
+    assert core.idle_duration() == 0
+    m.sim.call_after(5 * MS, lambda: None)
+    m.run()
+    core.mark_idle()
+    assert core.busy_ns == 5 * MS
+    assert not core.is_busy
+
+
+def test_checkpoint_busy_folds_interval():
+    m = make_machine()
+    core = m.cores[0]
+    core.mark_busy()
+    m.sim.call_after(2 * MS, lambda: None)
+    m.run()
+    core.checkpoint_busy()
+    assert core.busy_ns == 2 * MS
+    assert core.is_busy
+
+
+def test_utilization_clamped():
+    m = make_machine()
+    core = m.cores[0]
+    assert core.utilization(5, 10) == 0.5
+    assert core.utilization(20, 10) == 1.0
+    assert core.utilization(-5, 10) == 0.0
+    assert core.utilization(5, 0) == 0.0
+
+
+def test_cold_penalty_caps_at_chunk():
+    small = default_cold_penalty(100)
+    assert small == int(100 * (config.CACHE_WARMUP_FACTOR - 1.0))
+    big = default_cold_penalty(10 * config.CACHE_WARMUP_NS)
+    assert big == int(
+        config.CACHE_WARMUP_NS * (config.CACHE_WARMUP_FACTOR - 1.0)
+    )
+
+
+def test_thread_action_validation():
+    from repro.kernel.thread import Compute
+
+    with pytest.raises(ValueError):
+        Compute(-1)
+    assert Compute(5 * US).work_ns == 5 * US

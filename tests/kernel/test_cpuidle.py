@@ -1,0 +1,52 @@
+"""Unit tests for the C-state exit-latency model."""
+
+from repro import config
+from repro.kernel.cpuidle import CpuIdle, mean_exit_latency_ns
+from repro.sim.rng import RandomStreams
+from repro.sim.units import US
+
+from tests.conftest import make_machine
+
+
+def test_zero_idle_zero_latency():
+    assert mean_exit_latency_ns(0) == 0.0
+    assert mean_exit_latency_ns(-5) == 0.0
+
+
+def test_latency_grows_with_idle_duration():
+    values = [mean_exit_latency_ns(t * US) for t in (1, 10, 50, 200)]
+    assert values == sorted(values)
+
+
+def test_latency_saturates():
+    deep = mean_exit_latency_ns(10_000 * US)
+    assert deep <= config.IDLE_EXIT_BASE_NS + config.IDLE_EXIT_AMP_NS + 1
+
+
+def test_calibration_anchors():
+    """The curve hits the Table-1-derived anchors (DESIGN.md)."""
+    assert 1_000 < mean_exit_latency_ns(1 * US) < 1_800
+    assert 2_500 < mean_exit_latency_ns(10 * US) < 3_800
+    assert 5_500 < mean_exit_latency_ns(50 * US) < 7_000
+    assert 6_500 < mean_exit_latency_ns(200 * US) < 7_500
+
+
+def test_sample_distribution_centred_on_mean():
+    cpuidle = CpuIdle(RandomStreams(3))
+    machine = make_machine()
+    core = machine.cores[0]
+    core.idle_since = 0
+    machine.sim.call_after(50 * US, lambda: None)
+    machine.run()
+    samples = [cpuidle.exit_latency(core) for _ in range(2000)]
+    mean = sum(samples) / len(samples)
+    expected = mean_exit_latency_ns(50 * US)
+    assert abs(mean - expected) / expected < 0.05
+    assert all(s >= 0 for s in samples)
+
+
+def test_busy_core_has_zero_exit_latency():
+    machine = make_machine()
+    core = machine.cores[0]
+    core.mark_busy()
+    assert machine.cpuidle.exit_latency(core) == 0

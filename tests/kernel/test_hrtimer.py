@@ -1,0 +1,92 @@
+"""Unit tests for the high-resolution timer pipeline."""
+
+from repro import config
+from repro.kernel.thread import Compute, Exit, Suspend
+from repro.sim.units import MS, US
+
+from tests.conftest import make_machine
+
+
+def test_timer_fires_with_pipeline_latency(machine):
+    fired = []
+    machine.hrtimers[0].arm(100 * US, lambda: fired.append(machine.now))
+    machine.run(until=1 * MS)
+    assert len(fired) == 1
+    # callback runs after IRQ delivery latency + handler (+ idle exit)
+    assert fired[0] >= 100 * US + config.TIMER_IRQ_LATENCY_NS
+    assert fired[0] <= 100 * US + 20 * US
+
+
+def test_cancel_before_fire(machine):
+    fired = []
+    timer = machine.hrtimers[0].arm(100 * US, lambda: fired.append(1))
+    machine.sim.call_after(50 * US, timer.cancel)
+    machine.run(until=1 * MS)
+    assert fired == []
+    assert timer.cancelled and not timer.fired
+
+
+def test_cancel_after_fire_is_noop(machine):
+    fired = []
+    timer = machine.hrtimers[0].arm(10 * US, lambda: fired.append(1))
+    machine.run(until=1 * MS)
+    timer.cancel()
+    assert fired == [1]
+    assert timer.fired
+
+
+def test_next_expiry(machine):
+    q = machine.hrtimers[0]
+    assert q.next_expiry() is None
+    q.arm(500 * US, lambda: None)
+    q.arm(200 * US, lambda: None)
+    assert q.next_expiry() == 200 * US
+
+
+def test_irq_steals_time_from_running_thread(machine):
+    finished = {}
+
+    def body(kt):
+        yield Compute(500 * US)
+        finished["t"] = machine.now
+        yield Exit()
+
+    machine.spawn(body, name="victim", core=0)
+    # timer on the same core mid-chunk: handler time is stolen
+    machine.hrtimers[0].arm(200 * US, lambda: None)
+    machine.run()
+    assert finished["t"] >= 500 * US + config.TIMER_IRQ_HANDLER_NS
+
+
+def test_wakeup_path_end_to_end(machine):
+    """Arm-suspend-wake sequence: the canonical sleep skeleton."""
+    waketime = {}
+
+    def body(kt):
+        machine.hrtimers[0].arm(machine.now + 50 * US, kt.wake)
+        before = machine.now
+        yield Suspend()
+        waketime["delay"] = machine.now - before
+        yield Exit()
+
+    machine.spawn(body, name="sleeper", core=0)
+    machine.run(until=5 * MS)
+    # wake delay = 50us + IRQ latency + idle exit + handler + dispatch
+    assert 50 * US < waketime["delay"] < 70 * US
+
+
+def test_idle_core_returns_to_idle_after_orphan_timer(machine):
+    """A timer whose callback wakes nothing leaves the core idle."""
+    machine.hrtimers[2].arm(100 * US, lambda: None)
+    machine.run(until=1 * MS)
+    core = machine.cores[2]
+    assert not core.is_busy
+    assert core.irq_ns >= config.TIMER_IRQ_HANDLER_NS
+
+
+def test_fired_count(machine):
+    q = machine.hrtimers[0]
+    for i in range(5):
+        q.arm((i + 1) * 100 * US, lambda: None)
+    machine.run(until=1 * MS)
+    assert q.fired_count == 5

@@ -1,0 +1,90 @@
+"""Unit tests for the assembled machine and OS noise."""
+
+from repro import config
+from repro.kernel.thread import BusySpin, Compute, Exit
+from repro.sim.units import MS, US
+
+from tests.conftest import make_machine
+
+
+def test_machine_builds_configured_cores():
+    m = make_machine(num_cores=5)
+    assert len(m.cores) == 5
+    assert len(m.hrtimers) == 5
+
+
+def test_run_for(machine):
+    machine.run_for(5 * MS)
+    assert machine.now == 5 * MS
+    machine.run_for(5 * MS)
+    assert machine.now == 10 * MS
+
+
+def test_cpu_utilization_idle_is_zero(machine):
+    machine.run_for(10 * MS)
+    assert machine.cpu_utilization() == 0.0
+
+
+def test_cpu_utilization_one_busy_core():
+    m = make_machine(num_cores=4)
+
+    def hog(kt):
+        yield BusySpin(10 * MS)
+        yield Exit()
+
+    m.spawn(hog, name="hog", core=0)
+    m.run(until=10 * MS)
+    util = m.cpu_utilization()
+    assert 0.95 < util < 1.05
+    assert m.cpu_utilization([1, 2, 3]) < 0.01
+
+
+def test_getrusage_sums_threads(machine):
+    def worker(kt):
+        yield Compute(2 * MS)
+        yield Exit()
+
+    t1 = machine.spawn(worker, name="a", core=0)
+    t2 = machine.spawn(worker, name="b", core=1)
+    machine.run()
+    assert machine.getrusage_ns() == t1.cputime_ns + t2.cputime_ns
+    assert machine.getrusage_ns([t1]) == t1.cputime_ns
+
+
+def test_os_noise_steals_cpu():
+    m = make_machine(os_noise=True, seed=5)
+    m.run(until=200 * MS)
+    assert m.noise is not None
+    assert m.noise.bursts > 10
+    assert m.noise.stolen_ns > 0
+    # bursts respect configured bounds
+    assert m.noise.stolen_ns < m.noise.bursts * config.OS_NOISE_MAX_NS + 1
+
+
+def test_os_noise_disabled():
+    m = make_machine(os_noise=False)
+    m.run(until=50 * MS)
+    assert m.noise is None
+    assert all(c.busy_ns == 0 for c in m.cores)
+
+
+def test_noise_delays_running_thread():
+    quiet = make_machine(os_noise=False, seed=5)
+    noisy = make_machine(os_noise=True, seed=5)
+    results = {}
+    for name, m in (("quiet", quiet), ("noisy", noisy)):
+        def worker(kt, m=m, name=name):
+            yield Compute(50 * MS)
+            results[name] = m.now
+            yield Exit()
+
+        m.spawn(worker, name="w", core=0)
+        m.run(until=200 * MS)
+    assert results["noisy"] > results["quiet"]
+
+
+def test_run_until_event(machine):
+    ev = machine.sim.event()
+    machine.sim.call_after(3 * MS, ev.succeed)
+    machine.run_until_event(ev, hard_limit=100 * MS)
+    assert machine.now == 3 * MS

@@ -1,0 +1,44 @@
+"""Unit tests for nice levels and CFS weights."""
+
+import pytest
+
+from repro.kernel.nice import (
+    MAX_NICE,
+    MIN_NICE,
+    NICE_0_WEIGHT,
+    PRIO_TO_WEIGHT,
+    weight_for_nice,
+)
+
+
+def test_nice_zero_is_1024():
+    assert weight_for_nice(0) == NICE_0_WEIGHT == 1024
+
+
+def test_extremes():
+    assert weight_for_nice(-20) == 88761
+    assert weight_for_nice(19) == 15
+
+
+def test_monotonically_decreasing():
+    weights = [weight_for_nice(n) for n in range(MIN_NICE, MAX_NICE + 1)]
+    assert weights == sorted(weights, reverse=True)
+    assert len(set(weights)) == len(weights)
+
+
+def test_ten_percent_rule():
+    """Each nice step shifts relative share by roughly 25% in weight."""
+    for nice in range(MIN_NICE, MAX_NICE):
+        ratio = weight_for_nice(nice) / weight_for_nice(nice + 1)
+        assert 1.1 < ratio < 1.4
+
+
+def test_out_of_range_raises():
+    with pytest.raises(ValueError):
+        weight_for_nice(-21)
+    with pytest.raises(ValueError):
+        weight_for_nice(20)
+
+
+def test_table_length():
+    assert len(PRIO_TO_WEIGHT) == 40

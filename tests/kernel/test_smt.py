@@ -1,0 +1,134 @@
+"""Unit tests for SMT (hyper-threading) execution coupling."""
+
+import pytest
+
+from repro import config
+from repro.kernel.thread import BusySpin, Compute, Exit
+from repro.sim.units import MS, US
+
+from tests.conftest import make_machine
+
+
+def smt_machine(**kw):
+    kw.setdefault("num_cores", 4)
+    kw.setdefault("smt_pairs", [(0, 1)])
+    return make_machine(**kw)
+
+
+def test_pairing_is_symmetric():
+    m = smt_machine()
+    assert m.cores[0].smt_sibling is m.cores[1]
+    assert m.cores[1].smt_sibling is m.cores[0]
+    assert m.cores[2].smt_sibling is None
+
+
+def test_invalid_pairs_rejected():
+    with pytest.raises(ValueError):
+        smt_machine(smt_pairs=[(0, 0)])
+    with pytest.raises(ValueError):
+        smt_machine(smt_pairs=[(0, 1), (1, 2)])
+
+
+def test_solo_thread_runs_at_full_speed():
+    m = smt_machine()
+    done = {}
+
+    def worker(kt):
+        yield Compute(10 * MS)
+        done["t"] = m.now
+        yield Exit()
+
+    m.spawn(worker, name="w", core=0)
+    m.run()
+    assert done["t"] == pytest.approx(10 * MS, rel=0.001)
+
+
+def test_sibling_contention_slows_both():
+    m = smt_machine()
+    done = {}
+
+    def worker(name, core):
+        def body(kt):
+            yield Compute(10 * MS)
+            done[name] = m.now
+            yield Exit()
+        return body
+
+    m.spawn(worker("a", 0), name="a", core=0)
+    m.spawn(worker("b", 1), name="b", core=1)
+    m.run()
+    # both ran concurrently at SMT_SLOWDOWN speed
+    expected = 10 * MS / config.SMT_SLOWDOWN
+    assert done["a"] == pytest.approx(expected, rel=0.02)
+    assert done["b"] == pytest.approx(expected, rel=0.02)
+
+
+def test_speed_recovers_when_sibling_idles():
+    m = smt_machine()
+    done = {}
+
+    def long_worker(kt):
+        yield Compute(20 * MS)
+        done["long"] = m.now
+        yield Exit()
+
+    def short_worker(kt):
+        yield Compute(2 * MS)
+        done["short"] = m.now
+        yield Exit()
+
+    m.spawn(long_worker, name="long", core=0)
+    m.spawn(short_worker, name="short", core=1)
+    m.run()
+    # the short thread finishes (~2/0.65 ≈ 3.1ms); after that the long
+    # one accelerates back to full speed
+    shared_phase = done["short"]
+    remaining_work = 20 * MS - int(shared_phase * config.SMT_SLOWDOWN)
+    expected_long = shared_phase + remaining_work
+    assert done["long"] == pytest.approx(expected_long, rel=0.02)
+    # and much sooner than running the whole job derated
+    assert done["long"] < 20 * MS / config.SMT_SLOWDOWN
+
+
+def test_unpaired_cores_unaffected():
+    m = smt_machine()
+    done = {}
+
+    def worker(kt):
+        yield Compute(5 * MS)
+        done["t"] = m.now
+        yield Exit()
+
+    # a busy pair must not slow an unpaired core
+    def hog(kt):
+        yield BusySpin(30 * MS)
+        yield Exit()
+
+    m.spawn(hog, name="h0", core=0)
+    m.spawn(hog, name="h1", core=1)
+    m.spawn(worker, name="w", core=2)
+    m.run(until=30 * MS)
+    assert done["t"] == pytest.approx(5 * MS, rel=0.001)
+
+
+def test_accounting_conserved_under_smt():
+    """The CPU-time decomposition invariant holds with SMT coupling."""
+    m = smt_machine()
+
+    def worker(name):
+        def body(kt):
+            for _ in range(20):
+                yield Compute(500 * US)
+            yield Exit()
+        return body
+
+    m.spawn(worker("a"), name="a", core=0)
+    m.spawn(worker("b"), name="b", core=1)
+    m.run()
+    for ci in (0, 1):
+        core = m.cores[ci]
+        threads = [t for t in m.threads if t.core is core]
+        parts = (sum(t.cputime_ns for t in threads) + core.irq_ns
+                 + core.switch_ns + core.exit_stall_ns)
+        span = core.total_busy_ns()
+        assert abs(span - parts) <= span * 0.001 + 20

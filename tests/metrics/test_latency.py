@@ -1,0 +1,98 @@
+"""Unit tests for latency statistics."""
+
+import pytest
+
+from repro.metrics.latency import LatencyStats
+
+
+def filled(values):
+    s = LatencyStats()
+    s.extend(values)
+    return s
+
+
+def test_mean_and_count():
+    s = filled([10, 20, 30])
+    assert s.count == 3
+    assert s.mean() == 20
+
+
+def test_percentile_interpolation():
+    s = filled(range(0, 101))  # 0..100
+    assert s.percentile(0) == 0
+    assert s.percentile(50) == 50
+    assert s.percentile(100) == 100
+    assert s.percentile(99) == pytest.approx(99.0)
+    assert s.percentile(25) == pytest.approx(25.0)
+
+
+def test_single_sample():
+    s = filled([42])
+    assert s.percentile(0) == 42
+    assert s.percentile(100) == 42
+    assert s.std() == 0.0
+
+
+def test_empty_raises():
+    s = LatencyStats()
+    with pytest.raises(ValueError):
+        s.mean()
+    with pytest.raises(ValueError):
+        s.percentile(50)
+    with pytest.raises(ValueError):
+        s.boxplot()
+
+
+def test_negative_rejected():
+    s = LatencyStats()
+    with pytest.raises(ValueError):
+        s.add(-1)
+
+
+def test_bad_percentile_rejected():
+    s = filled([1, 2, 3])
+    with pytest.raises(ValueError):
+        s.percentile(101)
+
+
+def test_boxplot_five_numbers():
+    s = filled([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+    b = s.boxplot()
+    assert b.minimum == 1
+    assert b.maximum == 10
+    assert b.median == 5.5
+    assert b.q1 < b.median < b.q3
+    assert b.whisker_low >= b.minimum
+    assert b.whisker_high <= b.maximum
+
+
+def test_boxplot_whiskers_exclude_outliers():
+    s = filled([10] * 50 + [11] * 50 + [1000])
+    b = s.boxplot()
+    assert b.whisker_high < 100
+    assert b.maximum == 1000
+
+
+def test_std():
+    s = filled([10, 10, 10])
+    assert s.std() == 0.0
+    s2 = filled([0, 20])
+    assert s2.std() == pytest.approx(14.142, rel=0.01)
+
+
+def test_sorting_resilience():
+    """Interleaved adds and reads keep percentiles correct."""
+    s = LatencyStats()
+    s.add(30)
+    assert s.percentile(50) == 30
+    s.add(10)
+    s.add(20)
+    assert s.percentile(50) == 20
+
+
+def test_summary_string():
+    s = filled([1000, 2000, 3000])
+    text = s.summary_us()
+    assert "n=3" in text
+    assert "mean=2.00us" in text
+    assert LatencyStats().summary_us() == "no samples"

@@ -1,0 +1,82 @@
+"""Unit tests for the time-series recorder and CPU sampler."""
+
+import pytest
+
+from repro.kernel.thread import BusySpin, Exit
+from repro.metrics.cpu import CpuSampler
+from repro.metrics.recorder import TimeSeries
+from repro.sim.units import MS
+
+from tests.conftest import make_machine
+
+
+class TestTimeSeries:
+    def test_record_and_get(self):
+        ts = TimeSeries()
+        ts.record("a", 0, 1.0)
+        ts.record("a", 10, 2.0)
+        assert ts.get("a") == [(0, 1.0), (10, 2.0)]
+        assert ts.values("a") == [1.0, 2.0]
+        assert ts.last("a") == 2.0
+
+    def test_time_monotonicity_enforced(self):
+        ts = TimeSeries()
+        ts.record("a", 10, 1.0)
+        with pytest.raises(ValueError):
+            ts.record("a", 5, 2.0)
+
+    def test_names_sorted(self):
+        ts = TimeSeries()
+        ts.record("b", 0, 1)
+        ts.record("a", 0, 1)
+        assert ts.names() == ["a", "b"]
+
+    def test_missing_series(self):
+        ts = TimeSeries()
+        assert ts.get("nope") == []
+        with pytest.raises(KeyError):
+            ts.last("nope")
+
+    def test_window_mean(self):
+        ts = TimeSeries()
+        for t, v in [(0, 1.0), (10, 3.0), (20, 5.0), (30, 100.0)]:
+            ts.record("a", t, v)
+        assert ts.window_mean("a", 0, 20) == 3.0
+        with pytest.raises(ValueError):
+            ts.window_mean("a", 40, 50)
+
+
+class TestCpuSampler:
+    def test_samples_busy_fraction(self):
+        m = make_machine(num_cores=2)
+
+        def hog(kt):
+            yield BusySpin(50 * MS)
+            yield Exit()
+
+        m.spawn(hog, name="hog", core=0)
+        sampler = CpuSampler(m, period_ns=10 * MS, cores=[0])
+        sampler.start()
+        m.run(until=50 * MS)
+        assert len(sampler.samples) >= 4
+        assert sampler.mean_utilization() > 0.95
+
+    def test_idle_samples_zero(self):
+        m = make_machine(num_cores=2)
+        sampler = CpuSampler(m, period_ns=10 * MS)
+        sampler.start()
+        m.run(until=50 * MS)
+        assert sampler.mean_utilization() == 0.0
+
+    def test_bad_period(self):
+        m = make_machine()
+        with pytest.raises(ValueError):
+            CpuSampler(m, period_ns=0)
+
+    def test_start_idempotent(self):
+        m = make_machine()
+        sampler = CpuSampler(m, period_ns=10 * MS)
+        sampler.start()
+        sampler.start()
+        m.run(until=25 * MS)
+        assert len(sampler.samples) == 2

@@ -1,0 +1,79 @@
+"""Unit tests for the NIC port and its interrupt support."""
+
+from repro.nic.device import NicPort
+from repro.nic.traffic import CbrProcess, RampProfile
+from repro.sim.core import Simulator
+from repro.sim.units import MS, US
+
+import pytest
+
+
+def test_port_needs_queues():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NicPort(sim, [])
+
+
+def test_rss_queues_independent():
+    sim = Simulator()
+    port = NicPort(sim, [CbrProcess(1_000_000), CbrProcess(2_000_000)],
+                   ring_size=4096)
+    sim.call_after(1 * MS, lambda: None)
+    sim.run()
+    assert port.queues[0].occupancy() == 1000
+    assert port.queues[1].occupancy() == 2000
+    assert port.total_arrived() == 3000
+
+
+def test_irq_fires_at_next_arrival():
+    sim = Simulator()
+    port = NicPort(sim, [CbrProcess(1_000)])  # one packet per ms
+    fired = []
+    assert port.irq_arm(0, lambda: fired.append(sim.now))
+    sim.run()
+    assert len(fired) == 1
+    assert fired[0] == 1 * MS  # first CBR arrival
+
+
+def test_irq_disarm():
+    sim = Simulator()
+    port = NicPort(sim, [CbrProcess(1_000)])
+    fired = []
+    port.irq_arm(0, lambda: fired.append(1))
+    port.irq_disarm(0)
+    sim.run(until=10 * MS)
+    assert fired == []
+
+
+def test_irq_arm_with_dead_source_returns_false():
+    sim = Simulator()
+    port = NicPort(sim, [CbrProcess(0)])
+    assert not port.irq_arm(0, lambda: None)
+
+
+def test_irq_one_shot():
+    sim = Simulator()
+    port = NicPort(sim, [CbrProcess(1_000_000)])
+    fired = []
+    port.irq_arm(0, lambda: fired.append(sim.now))
+    sim.run(until=1 * MS)
+    assert len(fired) == 1  # auto-masked after delivery
+
+
+def test_irq_with_delayed_traffic_start():
+    sim = Simulator()
+    ramp = RampProfile([(0, 0), (5 * MS, 1_000_000)])
+    port = NicPort(sim, [ramp])
+    fired = []
+    port.irq_arm(0, lambda: fired.append(sim.now))
+    sim.run(until=10 * MS)
+    assert len(fired) == 1
+    assert fired[0] > 5 * MS
+
+
+def test_loss_fraction_aggregates():
+    sim = Simulator()
+    port = NicPort(sim, [CbrProcess(10_000_000)], ring_size=1024)
+    sim.call_after(1 * MS, lambda: None)
+    sim.run()
+    assert port.loss_fraction() > 0.8

@@ -1,0 +1,95 @@
+"""Tests for IPv4 header construction, checksumming and rewrite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nic import ipv4hdr
+from repro.nic.packet import PacketHeader, ipv4
+
+
+def header(ttl=64, proto=17):
+    pkt = PacketHeader(ipv4(10, 0, 0, 1), ipv4(192, 168, 1, 2), 5, 6,
+                       proto=proto, length=64)
+    return ipv4hdr.build_header(pkt, ttl=ttl)
+
+
+def test_built_header_verifies():
+    raw = header()
+    assert len(raw) == 20
+    assert ipv4hdr.verify(raw)
+
+
+def test_known_checksum_example():
+    """The classic Wikipedia/RFC worked example."""
+    hdr = bytes.fromhex("45000073000040004011" + "0000" + "c0a80001c0a800c7")
+    csum = ipv4hdr.checksum(hdr)
+    assert csum == 0xB861
+
+
+def test_corrupted_header_fails_verification():
+    raw = bytearray(header())
+    raw[16] ^= 0x01   # flip a destination bit
+    assert not ipv4hdr.verify(bytes(raw))
+
+
+def test_forward_rewrite_decrements_ttl():
+    raw = header(ttl=64)
+    out, alive = ipv4hdr.forward_rewrite(raw)
+    assert alive
+    assert out[8] == 63
+    assert ipv4hdr.verify(out)
+
+
+def test_incremental_equals_full_recompute():
+    """RFC 1624 patching must agree with a from-scratch checksum."""
+    raw = header(ttl=37)
+    out, _ = ipv4hdr.forward_rewrite(raw)
+    zeroed = out[:10] + b"\x00\x00" + out[12:]
+    assert ipv4hdr.checksum(zeroed) == (out[10] << 8) | out[11]
+
+
+def test_ttl_expiry():
+    raw = header(ttl=1)
+    _out, alive = ipv4hdr.forward_rewrite(raw)
+    assert not alive
+    raw0 = header(ttl=0)
+    _out, alive = ipv4hdr.forward_rewrite(raw0)
+    assert not alive
+
+
+def test_chained_rewrites_stay_valid():
+    raw = header(ttl=10)
+    for expected_ttl in range(9, 0, -1):
+        raw, alive = ipv4hdr.forward_rewrite(raw)
+        assert alive
+        assert raw[8] == expected_ttl
+        assert ipv4hdr.verify(raw)
+    _raw, alive = ipv4hdr.forward_rewrite(raw)
+    assert not alive
+
+
+def test_bad_inputs():
+    with pytest.raises(ValueError):
+        ipv4hdr.forward_rewrite(b"short")
+    with pytest.raises(ValueError):
+        ipv4hdr.build_header(PacketHeader(1, 2, 3, 4), ttl=300)
+    assert not ipv4hdr.verify(b"short")
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    dst=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ttl=st.integers(min_value=2, max_value=255),
+    proto=st.integers(min_value=0, max_value=255),
+    length=st.integers(min_value=20, max_value=1500),
+)
+def test_property_build_verify_rewrite(src, dst, ttl, proto, length):
+    pkt = PacketHeader(src, dst, 1, 2, proto=proto, length=length)
+    raw = ipv4hdr.build_header(pkt, ttl=ttl)
+    assert ipv4hdr.verify(raw)
+    out, alive = ipv4hdr.forward_rewrite(raw)
+    assert alive
+    assert ipv4hdr.verify(out)
+    assert out[8] == ttl - 1

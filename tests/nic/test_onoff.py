@@ -1,0 +1,88 @@
+"""Unit tests for the ON/OFF bursty traffic process."""
+
+import random
+
+import pytest
+
+from repro.nic.traffic import OnOffProcess
+from repro.sim.units import MS, SEC, US
+
+
+def make(rate=10_000_000, on_us=100, off_us=300, seed=3, **kw):
+    return OnOffProcess(rate, on_us * US, off_us * US,
+                        random.Random(seed), **kw)
+
+
+def test_mean_rate_matches_duty_cycle():
+    p = make()
+    n = p.advance(1 * SEC)
+    expected = p.mean_rate_pps()  # 10M * 0.25 = 2.5M
+    assert expected == pytest.approx(2_500_000)
+    assert abs(n - expected) / expected < 0.15
+
+
+def test_off_start_produces_silence_first():
+    p = make(start_on=False)
+    # the very first phase is OFF: tiny windows see nothing initially
+    first = p.next_arrival_after(0)
+    assert first > 0
+    assert p.advance(first - 1) == 0
+
+
+def test_on_start_produces_packets_immediately():
+    p = make(start_on=True, rate=1_000_000)
+    assert p.advance(50 * US) >= 20  # ~50 expected at 1Mpps
+
+
+def test_split_invariance():
+    a = make(seed=9)
+    b = make(seed=9)
+    t, total = 0, 0
+    for dt in (17 * US, 333 * US, 1 * MS, 50 * US, 5 * MS):
+        t += dt
+        total += a.advance(t)
+    assert total == b.advance(t)
+
+
+def test_next_arrival_consistency():
+    p = make(seed=4)
+    t = p.next_arrival_after(0)
+    assert p.advance(t - 1) == 0
+    assert p.advance(t) >= 1
+
+
+def test_next_arrival_monotone_queries():
+    p = make(seed=5)
+    p.advance(1 * MS)
+    t1 = p.next_arrival_after(1 * MS)
+    assert t1 > 1 * MS
+
+
+def test_burstiness_visible():
+    """Counts per window must be far more variable than CBR's."""
+    p = make(rate=10_000_000, on_us=200, off_us=200, seed=6)
+    counts = []
+    t = 0
+    for _ in range(400):
+        t += 100 * US
+        counts.append(p.advance(t))
+    mean = sum(counts) / len(counts)
+    var = sum((c - mean) ** 2 for c in counts) / (len(counts) - 1)
+    # CBR would have var≈0; ON/OFF at this timescale is wildly bursty
+    assert var > mean
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make(rate=-1)
+    with pytest.raises(ValueError):
+        make(on_us=0)
+    p = make()
+    p.advance(1 * MS)
+    with pytest.raises(ValueError):
+        p.advance(0)
+
+
+def test_rate_at_reports_phase():
+    p = make(start_on=True, rate=7_000_000)
+    assert p.rate_at(0) == 7_000_000

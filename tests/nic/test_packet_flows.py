@@ -1,0 +1,72 @@
+"""Unit tests for packet headers, addresses, and flow populations."""
+
+import pytest
+
+from repro.nic.flows import FlowSet
+from repro.nic.packet import PacketHeader, format_ipv4, ipv4
+
+
+def test_ipv4_pack_and_format():
+    addr = ipv4(192, 168, 1, 20)
+    assert addr == 0xC0A80114
+    assert format_ipv4(addr) == "192.168.1.20"
+
+
+def test_ipv4_bad_octet():
+    with pytest.raises(ValueError):
+        ipv4(256, 0, 0, 1)
+
+
+def test_flow_key():
+    h = PacketHeader(1, 2, 3, 4, proto=17)
+    assert h.flow_key == (1, 2, 3, 4, 17)
+
+
+def test_flowset_deterministic():
+    a = FlowSet(num_flows=100, seed=3)
+    b = FlowSet(num_flows=100, seed=3)
+    for seq in range(50):
+        assert a.header_for(seq) == b.header_for(seq)
+        assert a.flow_of(seq) == b.flow_of(seq)
+
+
+def test_flowset_seed_changes_mapping():
+    a = FlowSet(num_flows=100, seed=3)
+    b = FlowSet(num_flows=100, seed=4)
+    assert any(a.flow_of(s) != b.flow_of(s) for s in range(50))
+
+
+def test_flow_ids_in_range():
+    fs = FlowSet(num_flows=7)
+    assert all(0 <= fs.flow_of(s) < 7 for s in range(1000))
+
+
+def test_flows_spread_evenly():
+    fs = FlowSet(num_flows=16)
+    counts = [0] * 16
+    for seq in range(16_000):
+        counts[fs.flow_of(seq)] += 1
+    assert min(counts) > 700
+    assert max(counts) < 1300
+
+
+def test_destinations_cover_prefixes():
+    fs = FlowSet(num_flows=256, num_prefixes=32)
+    nets = fs.all_destinations()
+    assert 1 < len(nets) <= 32
+    for net in nets:
+        assert net & 0xFF == 0  # /24 network addresses
+
+
+def test_header_ports_valid():
+    fs = FlowSet(num_flows=64)
+    for i in range(64):
+        h = fs.header_of_flow(i)
+        assert 1024 <= h.src_port < 65536
+        assert 1024 <= h.dst_port < 65536
+        assert h.length == 64
+
+
+def test_empty_flowset_raises():
+    with pytest.raises(ValueError):
+        FlowSet(num_flows=0)

@@ -1,0 +1,92 @@
+"""Unit and property tests for the descriptor ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nic.ring import DescriptorRing
+
+
+def test_initial_state():
+    ring = DescriptorRing(1024)
+    assert ring.occupancy == 0
+    assert ring.free == 1024
+    assert ring.drops == 0
+
+
+def test_offer_and_pop():
+    ring = DescriptorRing(64)
+    assert ring.offer(10) == 10
+    assert ring.occupancy == 10
+    assert ring.pop(4) == 4
+    assert ring.occupancy == 6
+    assert ring.head_seq == 4
+    assert ring.tail_seq == 10
+
+
+def test_tail_drop_on_overflow():
+    ring = DescriptorRing(32)
+    assert ring.offer(40) == 32
+    assert ring.drops == 8
+    assert ring.occupancy == 32
+
+
+def test_pop_more_than_available():
+    ring = DescriptorRing(32)
+    ring.offer(5)
+    assert ring.pop(32) == 5
+    assert ring.occupancy == 0
+
+
+def test_capacity_bounds():
+    with pytest.raises(ValueError):
+        DescriptorRing(16)       # below MIN_RX_RING
+    with pytest.raises(ValueError):
+        DescriptorRing(8192)     # above MAX_RX_RING
+    DescriptorRing(32)
+    DescriptorRing(4096)
+
+
+def test_negative_args_raise():
+    ring = DescriptorRing(64)
+    with pytest.raises(ValueError):
+        ring.offer(-1)
+    with pytest.raises(ValueError):
+        ring.pop(-1)
+
+
+def test_max_occupancy_watermark():
+    ring = DescriptorRing(64)
+    ring.offer(10)
+    ring.pop(10)
+    ring.offer(30)
+    assert ring.max_occupancy == 30
+
+
+def test_accepted_total():
+    ring = DescriptorRing(32)
+    ring.offer(20)
+    ring.pop(20)
+    ring.offer(40)   # 32 accepted, 8 dropped
+    assert ring.accepted_total == 52
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["offer", "pop"]),
+              st.integers(min_value=0, max_value=100)),
+    max_size=200,
+))
+def test_property_conservation(ops):
+    """accepted = popped + occupancy, and occupancy stays in bounds."""
+    ring = DescriptorRing(64)
+    offered = 0
+    for op, n in ops:
+        if op == "offer":
+            ring.offer(n)
+            offered += n
+        else:
+            ring.pop(n)
+        assert 0 <= ring.occupancy <= 64
+    assert ring.accepted_total + ring.drops == offered
+    assert ring.head_seq + ring.occupancy == ring.tail_seq

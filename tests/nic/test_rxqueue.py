@@ -1,0 +1,112 @@
+"""Unit tests for the receive queue: lazy sync, tagging, drops."""
+
+from repro.nic.flows import FlowSet
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import CbrProcess
+from repro.sim.core import Simulator
+from repro.sim.units import MS, US
+
+
+def make_queue(rate=1_000_000, ring=1024, sample=10):
+    sim = Simulator()
+    q = RxQueue(sim, CbrProcess(rate), flows=FlowSet(num_flows=16),
+                ring_size=ring, sample_every=sample)
+    return sim, q
+
+
+def test_sync_materializes_arrivals():
+    sim, q = make_queue()
+    sim.call_after(1 * MS, lambda: None)
+    sim.run()
+    assert q.sync() == 1000
+    assert q.ring.occupancy == 1000
+
+
+def test_rx_burst_pops_fifo():
+    sim, q = make_queue()
+    sim.call_after(100 * US, lambda: None)
+    sim.run()
+    n, tagged = q.rx_burst(32)
+    assert n == 32
+    n2, _ = q.rx_burst(32)
+    assert n2 == 32
+    assert q.ring.head_seq == 64
+
+
+def test_tagging_every_kth():
+    sim, q = make_queue(sample=10)
+    sim.call_after(1 * MS, lambda: None)
+    sim.run()
+    q.sync()
+    total_tagged = len(q._tagged)
+    assert total_tagged == 100  # 1000 arrivals, every 10th
+
+
+def test_tagged_packets_are_delivered_in_bursts():
+    sim, q = make_queue(sample=10)
+    sim.call_after(100 * US, lambda: None)
+    sim.run()
+    n, tagged = q.rx_burst(32)
+    # seqs 0,10,20,30 are <= head 32
+    assert [p.seq for p in tagged] == [0, 10, 20, 30]
+
+
+def test_tagged_timestamps_interpolated():
+    sim, q = make_queue(rate=1_000_000, sample=100)
+    sim.call_after(1 * MS, lambda: None)
+    sim.run()
+    q.sync()
+    stamps = [p.arrival_ns for p in q._tagged]
+    # arrival k lands near k microseconds for a 1 Mpps CBR
+    for pkt, ts in zip(q._tagged, stamps):
+        assert abs(ts - (pkt.seq + 1) * 1000) <= 1000
+
+
+def test_drops_counted_on_overflow():
+    sim, q = make_queue(rate=10_000_000, ring=1024)
+    sim.call_after(1 * MS, lambda: None)  # 10k arrivals into 1024 slots
+    sim.run()
+    q.sync()
+    assert q.drops == 10_000 - 1024
+    assert q.arrived_total == 10_000
+
+
+def test_tagged_drops_recorded():
+    sim, q = make_queue(rate=10_000_000, ring=1024, sample=10)
+    sim.call_after(1 * MS, lambda: None)
+    sim.run()
+    q.sync()
+    # tagged packets beyond the accepted prefix are counted lost
+    assert q.tagged_drops > 0
+    assert q.tagged_drops + len(q._tagged) == 1000
+
+
+def test_loss_fraction():
+    sim, q = make_queue(rate=10_000_000, ring=1024)
+    sim.call_after(1 * MS, lambda: None)
+    sim.run()
+    q.sync()
+    assert abs(q.loss_fraction() - (10_000 - 1024) / 10_000) < 1e-9
+
+
+def test_headers_come_from_flowset():
+    sim, q = make_queue(sample=1)
+    sim.call_after(10 * US, lambda: None)
+    sim.run()
+    _n, tagged = q.rx_burst(32)
+    flows = q.flows
+    for pkt in tagged:
+        assert pkt.header == flows.header_for(pkt.seq)
+
+
+def test_occupancy_syncs():
+    sim, q = make_queue()
+    sim.call_after(500 * US, lambda: None)
+    sim.run()
+    assert q.occupancy() == 500
+
+
+def test_empty_queue_burst():
+    sim, q = make_queue(rate=0)
+    n, tagged = q.rx_burst(32)
+    assert n == 0 and tagged == []

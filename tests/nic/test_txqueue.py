@@ -1,0 +1,84 @@
+"""Unit tests for the Tx batching buffer."""
+
+import pytest
+
+from repro.nic.packet import PacketHeader, TaggedPacket
+from repro.nic.txqueue import TxBuffer
+from repro.sim.core import Simulator
+from repro.sim.units import US
+
+
+def tagged(seq, t):
+    return TaggedPacket(seq, t, PacketHeader(1, 2, 3, 4))
+
+
+def test_flush_at_threshold():
+    sim = Simulator()
+    tx = TxBuffer(sim, batch_threshold=32, latency_floor_ns=0)
+    assert not tx.enqueue(31, [])
+    assert tx.pending == 31
+    assert tx.enqueue(1, [])
+    assert tx.pending == 0
+    assert tx.tx_total == 32
+    assert tx.flushes == 1
+
+
+def test_batch_of_one_flushes_immediately():
+    sim = Simulator()
+    tx = TxBuffer(sim, batch_threshold=1, latency_floor_ns=0)
+    assert tx.enqueue(1, [])
+    assert tx.pending == 0
+
+
+def test_tagged_stamped_at_flush_time():
+    sim = Simulator()
+    tx = TxBuffer(sim, batch_threshold=32, latency_floor_ns=0)
+    pkt = tagged(0, 0)
+    tx.enqueue(1, [pkt])
+    assert pkt.tx_ns == -1          # still parked
+    sim.call_after(40 * US, lambda: None)
+    sim.run()
+    tx.enqueue(31, [])              # crosses the threshold now
+    assert pkt.tx_ns == 40 * US
+    assert pkt.latency_ns == 40 * US
+
+
+def test_latency_floor_added():
+    sim = Simulator()
+    tx = TxBuffer(sim, batch_threshold=1, latency_floor_ns=5_100)
+    pkt = tagged(0, 0)
+    tx.enqueue(1, [pkt])
+    assert pkt.tx_ns == 5_100
+
+
+def test_on_tx_callback():
+    sim = Simulator()
+    seen = []
+    tx = TxBuffer(sim, batch_threshold=2, latency_floor_ns=0,
+                  on_tx=seen.append)
+    tx.enqueue(2, [tagged(0, 0), tagged(1, 0)])
+    assert len(seen) == 2
+
+
+def test_explicit_flush():
+    sim = Simulator()
+    tx = TxBuffer(sim, batch_threshold=32, latency_floor_ns=0)
+    tx.enqueue(5, [])
+    assert tx.flush() == 5
+    assert tx.pending == 0
+    assert tx.flush() == 0  # idempotent when empty
+
+
+def test_bad_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TxBuffer(sim, batch_threshold=0)
+    tx = TxBuffer(sim)
+    with pytest.raises(ValueError):
+        tx.enqueue(-1, [])
+
+
+def test_untransmitted_latency_raises():
+    pkt = tagged(0, 100)
+    with pytest.raises(ValueError):
+        _ = pkt.latency_ns

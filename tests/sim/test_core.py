@@ -1,0 +1,191 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_call_after_runs_in_order():
+    sim = Simulator()
+    seen = []
+    sim.call_after(30, seen.append, "c")
+    sim.call_after(10, seen.append, "a")
+    sim.call_after(20, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_fifo_order():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.call_after(10, seen.append, i)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_callback_time():
+    sim = Simulator()
+    times = []
+    sim.call_after(42, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [42]
+    assert sim.now == 42
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    sim.call_after(100, lambda: None)
+    sim.run(until=50)
+    assert sim.now == 50
+    # the pending callback is still there
+    assert sim.peek() == 100
+
+
+def test_run_until_includes_events_at_bound():
+    sim = Simulator()
+    hits = []
+    sim.call_after(50, hits.append, 1)
+    sim.run(until=50)
+    assert hits == [1]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.call_after(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-1, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_after(10, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.call_after(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.call_after(5, inner)
+
+    def inner():
+        seen.append(("inner", sim.now))
+
+    sim.call_after(10, outer)
+    sim.run()
+    assert seen == [("outer", 10), ("inner", 15)]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.call_after(10, seen.append, 1)
+    sim.call_after(20, lambda: sim.stop())
+    sim.call_after(30, seen.append, 2)
+    sim.run()
+    assert seen == [1]
+    assert sim.now == 20
+
+
+def test_step_single_event():
+    sim = Simulator()
+    seen = []
+    sim.call_after(10, seen.append, 1)
+    sim.call_after(20, seen.append, 2)
+    assert sim.step()
+    assert seen == [1]
+    assert sim.step()
+    assert seen == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_skips_tombstones():
+    sim = Simulator()
+    h1 = sim.call_after(10, lambda: None)
+    sim.call_after(20, lambda: None)
+    h1.cancel()
+    assert sim.peek() == 20
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    ev.succeed("payload")
+    assert got == ["payload"]
+    assert ev.triggered
+
+
+def test_event_double_succeed_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_late_callback_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(7)
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    assert got == [7]
+
+
+def test_timeout_event_fires():
+    sim = Simulator()
+    ev = sim.timeout_event(25, value="done")
+    sim.run()
+    assert ev.triggered
+    assert ev.value == "done"
+    assert sim.now == 25
+
+
+def test_many_events_performance_smoke():
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        if counter["n"] < 10_000:
+            sim.call_after(1, tick)
+
+    sim.call_after(1, tick)
+    sim.run()
+    assert counter["n"] == 10_000
+    assert sim.now == 10_000
+
+
+def test_handle_time_property():
+    sim = Simulator()
+    handle = sim.call_after(33, lambda: None)
+    assert handle.time == 33

@@ -1,0 +1,176 @@
+"""Unit tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.process import Process, Timeout, WaitEvent, WaitProcess, spawn
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        trace.append(sim.now)
+        yield Timeout(10)
+        trace.append(sim.now)
+        yield Timeout(5)
+        trace.append(sim.now)
+
+    spawn(sim, body())
+    sim.run()
+    assert trace == [0, 10, 15]
+
+
+def test_process_result_and_done_event():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1)
+        return 42
+
+    p = spawn(sim, body())
+    sim.run()
+    assert not p.alive
+    assert p.result == 42
+    assert p.done.triggered
+    assert p.done.value == 42
+
+
+def test_wait_event_receives_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.call_after(30, ev.succeed, "ping")
+    sim.run()
+    assert got == ["ping"]
+    assert sim.now == 30
+
+
+def test_bare_event_yield_shorthand():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.call_after(5, ev.succeed, 99)
+    sim.run()
+    assert got == [99]
+
+
+def test_wait_process_join():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield Timeout(20)
+        order.append("child")
+        return "result"
+
+    def parent(child_proc):
+        value = yield WaitProcess(child_proc)
+        order.append(("parent", value, sim.now))
+
+    c = spawn(sim, child())
+    spawn(sim, parent(c))
+    sim.run()
+    assert order == ["child", ("parent", "result", 20)]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    got = []
+
+    def body():
+        v = yield Timeout(3, value="tick")
+        got.append(v)
+
+    spawn(sim, body())
+    sim.run()
+    assert got == ["tick"]
+
+
+def test_negative_timeout_raises():
+    with pytest.raises(SimulationError):
+        Timeout(-5)
+
+
+def test_unknown_yield_raises():
+    sim = Simulator()
+
+    def body():
+        yield "not-a-request"
+
+    spawn(sim, body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_exception_propagates():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1)
+        raise RuntimeError("boom")
+
+    spawn(sim, body())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        trace.append("start")
+        yield Timeout(100)
+        trace.append("never")
+
+    p = spawn(sim, body())
+    sim.call_after(10, p.interrupt)
+    sim.run()
+    assert trace == ["start"]
+    assert not p.alive
+    assert p.done.triggered
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    trace = []
+
+    def worker(name, period):
+        for _ in range(3):
+            yield Timeout(period)
+            trace.append((name, sim.now))
+
+    spawn(sim, worker("a", 10))
+    spawn(sim, worker("b", 15))
+    sim.run()
+    # at t=30 both fire; b's timeout was scheduled earlier (t=15 vs t=20)
+    # so FIFO heap order puts b first
+    assert trace == [
+        ("a", 10), ("b", 15), ("a", 20), ("b", 30), ("a", 30), ("b", 45)
+    ]
+
+
+def test_immediate_return():
+    sim = Simulator()
+
+    def body():
+        return "now"
+        yield  # pragma: no cover
+
+    p = spawn(sim, body())
+    sim.run()
+    assert p.result == "now"

@@ -1,0 +1,23 @@
+"""Unit tests for time-unit helpers."""
+
+from repro.sim.units import MS, NS, SEC, US, ns_to_ms, ns_to_sec, ns_to_us, us_to_ns
+
+
+def test_constants():
+    assert NS == 1
+    assert US == 1_000
+    assert MS == 1_000_000
+    assert SEC == 1_000_000_000
+
+
+def test_us_to_ns_rounds():
+    assert us_to_ns(1) == 1_000
+    assert us_to_ns(1.5) == 1_500
+    assert us_to_ns(0.0004) == 0
+    assert us_to_ns(0.0006) == 1
+
+
+def test_ns_converters():
+    assert ns_to_us(1_500) == 1.5
+    assert ns_to_ms(2_500_000) == 2.5
+    assert ns_to_sec(3 * SEC) == 3.0

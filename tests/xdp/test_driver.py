@@ -1,0 +1,163 @@
+"""Unit tests for the XDP/NAPI interrupt-driven baseline."""
+
+from repro import config
+from repro.dpdk.app import CountingApp
+from repro.nic.device import NicPort
+from repro.nic.traffic import CbrProcess, RampProfile
+from repro.sim.units import MS, SEC, US
+from repro.xdp.driver import XdpDriver
+
+from tests.conftest import make_machine
+
+
+def build(machine, rates, prewarmed=True, **kwargs):
+    port = NicPort(machine.sim, [CbrProcess(r) for r in rates],
+                   sample_every=64)
+    app = CountingApp(per_packet_ns=config.XDP_PKT_NS)
+    driver = XdpDriver(machine, port, app,
+                       cores=list(range(len(rates))), **kwargs)
+    if prewarmed:
+        for q in driver.queues:
+            q._warm_remaining = 0
+    driver.start()
+    return port, driver
+
+
+def test_zero_cpu_with_no_traffic():
+    m = make_machine(num_cores=2)
+    _port, driver = build(m, [0])
+    m.run(until=50 * MS)
+    assert driver.cpu_utilization() == 0.0
+    assert driver.total_irqs == 0
+
+
+def test_delivers_all_packets_at_moderate_rate():
+    m = make_machine(num_cores=2)
+    port, driver = build(m, [1_000_000])
+    m.run(until=20 * MS)
+    assert port.total_drops() == 0
+    assert driver.total_packets >= port.total_arrived() - config.NAPI_BUDGET
+
+
+def test_interrupt_moderation_caps_irq_rate():
+    m = make_machine(num_cores=2)
+    _port, driver = build(m, [1_000_000])
+    m.run(until=20 * MS)
+    # at most one IRQ per ITR interval
+    max_irqs = (20 * MS) // config.XDP_ITR_NS + 2
+    assert driver.total_irqs <= max_irqs
+    assert driver.total_irqs > 0
+
+
+def test_cpu_proportional_to_load():
+    m1 = make_machine(num_cores=2)
+    _p1, d1 = build(m1, [500_000])
+    m1.run(until=20 * MS)
+    m2 = make_machine(num_cores=2)
+    _p2, d2 = build(m2, [2_000_000])
+    m2.run(until=20 * MS)
+    assert d2.cpu_utilization() > 1.5 * d1.cpu_utilization()
+
+
+def test_napi_polling_mode_under_saturation():
+    """At line-rate-per-core the driver saturates: CPU ~100%, and the
+    per-packet ceiling (~3.4 Mpps/core) binds throughput."""
+    m = make_machine(num_cores=2)
+    port, driver = build(m, [5_000_000])
+    m.run(until=20 * MS)
+    assert driver.cpu_utilization() > 0.95
+    mpps = driver.total_packets / (m.now / SEC) / 1e6
+    assert 3.0 < mpps < 3.8
+    assert port.total_drops() > 0
+
+
+def test_cold_page_pool_loses_burst():
+    """§5.5: a cold burst at XDP's sustainable rate loses tens of
+    thousands of packets before the page pool warms."""
+    m = make_machine(num_cores=6)
+    # the paper's shaped rate (13.57 Mpps ceiling), minus a margin
+    rate = int(13.0e6) // 4
+    port = NicPort(m.sim, [CbrProcess(rate) for _ in range(4)],
+                   sample_every=256)
+    app = CountingApp(per_packet_ns=config.XDP_PKT_NS)
+    driver = XdpDriver(m, port, app, cores=[0, 1, 2, 3])
+    driver.start()   # cold: warm_remaining = XDP_WARM_PKTS
+    m.run(until=40 * MS)
+    cold_drops = port.total_drops()
+    assert cold_drops > 10_000
+
+    # same setup, prewarmed: (almost) no loss
+    m2 = make_machine(num_cores=6)
+    port2, _driver2 = build(m2, [rate] * 4)
+    m2.run(until=40 * MS)
+    assert port2.total_drops() < cold_drops / 20
+
+
+def test_line_rate_exceeds_xdp_ceiling():
+    """Unshaped 14.88 Mpps exceeds XDP's ~13.6 Mpps ceiling: sustained
+    loss even when warm (why the paper shaped its XDP traffic)."""
+    m = make_machine(num_cores=6)
+    rate = config.LINE_RATE_PPS // 4
+    port2, driver = build(m, [rate] * 4)
+    m.run(until=30 * MS)
+    mpps = driver.total_packets / (m.now / SEC) / 1e6
+    assert 12.5 < mpps < 14.2
+    assert port2.total_drops() > 0
+
+
+def test_queue_core_binding_enforced():
+    m = make_machine(num_cores=2)
+    port = NicPort(m.sim, [CbrProcess(1000), CbrProcess(1000)])
+    import pytest
+
+    with pytest.raises(ValueError):
+        XdpDriver(m, port, CountingApp(), cores=[0])
+
+
+def test_latency_includes_moderation_delay():
+    m = make_machine(num_cores=2)
+    _port, driver = build(m, [1_000_000])
+    m.run(until=20 * MS)
+    assert driver.latency.count > 10
+    mean_us = driver.latency.mean() / 1e3
+    # floor (5.1us) + up to one ITR interval of moderation
+    assert 5.0 < mean_us < 45.0
+
+
+def test_traffic_resuming_after_idle_reraises_irq():
+    m = make_machine(num_cores=2)
+    profile = RampProfile([(0, 1_000_000), (5 * MS, 0), (15 * MS, 1_000_000)])
+    port = NicPort(m.sim, [profile], sample_every=64)
+    app = CountingApp(per_packet_ns=config.XDP_PKT_NS)
+    driver = XdpDriver(m, port, app, cores=[0])
+    driver.queues[0]._warm_remaining = 0
+    driver.start()
+    m.run(until=25 * MS)
+    port.queues[0].sync()
+    # packets from both active segments were delivered
+    assert driver.total_packets >= port.queues[0].arrived_total - 2 * config.NAPI_BUDGET
+
+
+def test_custom_itr_reduces_interrupts():
+    m1 = make_machine(num_cores=2)
+    port1 = NicPort(m1.sim, [CbrProcess(1_000_000)], sample_every=64)
+    app1 = CountingApp(per_packet_ns=config.XDP_PKT_NS)
+    d1 = XdpDriver(m1, port1, app1, cores=[0], itr_ns=5_000)
+    for q in d1.queues:
+        q._warm_remaining = 0
+    d1.start()
+    m1.run(until=20 * MS)
+
+    m2 = make_machine(num_cores=2)
+    port2 = NicPort(m2.sim, [CbrProcess(1_000_000)], sample_every=64)
+    app2 = CountingApp(per_packet_ns=config.XDP_PKT_NS)
+    d2 = XdpDriver(m2, port2, app2, cores=[0], itr_ns=80_000)
+    for q in d2.queues:
+        q._warm_remaining = 0
+    d2.start()
+    m2.run(until=20 * MS)
+
+    assert d1.total_irqs > 2 * d2.total_irqs
+    # longer moderation -> higher latency, lower (or equal) CPU
+    assert d2.latency.mean() > d1.latency.mean()
+    assert d2.cpu_utilization() <= d1.cpu_utilization() + 0.02
