@@ -6,9 +6,12 @@
     python -m repro run table1 --fast
     python -m repro run fig12 --seed 7
     python -m repro quickstart
+    python -m repro trace quickstart --out trace.json
 
 Each experiment prints the same table its benchmark archives; ``--fast``
-cuts durations ~4x for a quick look.
+cuts durations ~4x for a quick look.  ``trace`` re-runs a system with
+nanosecond event tracing on, exports a Chrome trace-event JSON (load it
+in Perfetto / chrome://tracing) and prints the wake-latency anatomy.
 """
 
 from __future__ import annotations
@@ -280,6 +283,47 @@ def _quickstart(duration_scale: float, seed: int) -> str:
     )
 
 
+#: systems that can be run under the tracer (``repro trace <name>``)
+TRACEABLE = ("quickstart", "dpdk", "xdp")
+
+
+def _trace_cmd(args) -> int:
+    from repro.harness.experiment import run_dpdk, run_metronome, run_xdp
+    from repro.harness.report import render_metrics
+    from repro.trace import anatomy_report
+    from repro.trace.chrome import (
+        chrome_trace_dict,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    scale = 0.25 if args.fast else 1.0
+    duration = max(10, int(args.duration_ms * scale))
+    cfg = config.SimConfig(seed=args.seed)
+    if args.experiment == "dpdk":
+        res = run_dpdk(config.LINE_RATE_PPS, duration_ms=duration,
+                       cfg=cfg, trace=True)
+    elif args.experiment == "xdp":
+        res = run_xdp(config.LINE_RATE_PPS, duration_ms=duration,
+                      cfg=cfg, trace=True)
+    else:
+        res = run_metronome(config.LINE_RATE_PPS, duration_ms=duration,
+                            cfg=cfg, trace=True)
+    tracer = res.machine.tracer
+    count = write_chrome_trace(tracer, args.out)
+    problems = validate_chrome_trace(chrome_trace_dict(tracer))
+    if problems:
+        print(f"WARNING: exported trace failed self-check: {problems[:3]}")
+    print(f"{count} events ({duration} ms simulated) -> {args.out}")
+    print()
+    print(anatomy_report(tracer,
+                         title=f"wake-latency anatomy — {args.experiment}"))
+    print()
+    print(render_metrics(res.machine.metrics,
+                         title=f"metrics — {args.experiment}"))
+    return 1 if problems else 0
+
+
 EXPERIMENTS: Dict[str, Callable[[float, int], str]] = {
     "table1": _table1,
     "table2": _table2,
@@ -317,6 +361,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
     run.add_argument("--fast", action="store_true",
                      help="~4x shorter simulated durations")
+    tr = sub.add_parser(
+        "trace",
+        help="run a system with ns tracing; export Chrome JSON + anatomy")
+    tr.add_argument("experiment", choices=TRACEABLE)
+    tr.add_argument("--out", default="trace.json",
+                    help="Chrome trace-event JSON output path")
+    tr.add_argument("--duration-ms", type=int, default=40,
+                    help="simulated duration before --fast scaling")
+    tr.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    tr.add_argument("--fast", action="store_true")
     qs = [p for p in sub.choices.values()]
     for p in qs:
         if p.prog.endswith("quickstart"):
@@ -342,6 +396,8 @@ def main(argv: List[str] = None) -> int:
         print("all claims hold" if failures == 0
               else f"{failures} claim(s) FAILED")
         return 1 if failures else 0
+    if args.command == "trace":
+        return _trace_cmd(args)
     if args.command == "quickstart":
         print(_quickstart(scale, seed))
         return 0

@@ -50,10 +50,15 @@ class _SharedQueue:
 
     def __init__(self, machine: Machine, queue: RxQueue, tx_batch: int):
         self.queue = queue
-        self.lock = TryLock(name=f"rxq{queue.index}")
+        self.lock = TryLock(name=f"rxq{queue.index}", tracer=machine.tracer)
         self.tracker = QueueCycleTracker(start_ns=machine.sim.now)
         self.cycles = CycleStats()
         self.txbuf = TxBuffer(machine.sim, batch_threshold=tx_batch)
+        tracer = machine.tracer
+        if tracer.enabled:
+            self.txbuf.on_flush = (
+                lambda sent, q=queue.index: tracer.tx_flush(q, sent)
+            )
 
 
 class MetronomeGroup:
@@ -104,6 +109,25 @@ class MetronomeGroup:
         self.service: SleepService = machine.sleep_service(sleep_service)
         self.threads: List[KThread] = []
         self.thread_stats: List[MetronomeThreadStats] = []
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Publish the group's ad-hoc stats into the machine registry."""
+        reg = self.machine.metrics
+        prefix, n = self.name, 2
+        while f"{prefix}.packets" in reg:  # second group with this name
+            prefix = f"{self.name}.{n}"
+            n += 1
+        self.metrics_prefix = prefix
+        reg.gauge(f"{prefix}.packets", fn=lambda: self.total_packets)
+        reg.gauge(f"{prefix}.iterations", fn=lambda: self.total_iterations)
+        reg.gauge(f"{prefix}.busy_tries", fn=lambda: self.busy_tries)
+        reg.gauge(f"{prefix}.drops", fn=self.total_drops)
+        for sq in self.shared:
+            reg.gauge(
+                reg.unique_name(f"rxq{sq.queue.index}.drops"),
+                fn=lambda q=sq.queue: q.drops,
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -111,9 +135,16 @@ class MetronomeGroup:
         """Spawn the M threads (idempotent guard: call once)."""
         if self.threads:
             raise RuntimeError("group already started")
+        reg = self.machine.metrics
         for i in range(self.m):
             stats = MetronomeThreadStats(name=f"{self.name}-{i}")
             self.thread_stats.append(stats)
+            for field_name in ("iterations", "busy_tries", "packets",
+                               "primary_rounds", "backup_rounds"):
+                reg.gauge(
+                    f"{self.metrics_prefix}.{i}.{field_name}",
+                    fn=lambda s=stats, f=field_name: getattr(s, f),
+                )
             thread = self.machine.spawn(
                 lambda kt, s=stats: self._body(kt, s),
                 name=stats.name,
@@ -128,6 +159,7 @@ class MetronomeGroup:
     def _body(self, kt: KThread, stats: MetronomeThreadStats):
         sim = self.machine.sim
         service = self.service
+        tracer = self.machine.tracer
         while self.iterations is None or stats.iterations < self.iterations:
             stats.iterations += 1
             lock_taken = False
@@ -142,6 +174,9 @@ class MetronomeGroup:
                 lock_taken = True
                 backlog = sq.queue.occupancy()
                 sq.tracker.begin_busy(sim.now, backlog)
+                if tracer.enabled:
+                    tracer.drain_begin(kt, sq.queue.index, backlog)
+                drained = 0
                 while True:
                     n, tagged = sq.queue.rx_burst(self.burst)
                     if n == 0:
@@ -149,6 +184,7 @@ class MetronomeGroup:
                         yield Compute(config.RX_POLL_EMPTY_NS)
                         break
                     stats.packets += n
+                    drained += n
                     sq.tracker.note_packets(n)
                     will_flush = (
                         sq.txbuf.pending + n >= sq.txbuf.batch_threshold
@@ -165,6 +201,8 @@ class MetronomeGroup:
                 record = sq.tracker.end_busy(sim.now, stats.name)
                 sq.cycles.add(record)
                 self.tuner.observe(record)
+                if tracer.enabled:
+                    tracer.drain_end(kt, sq.queue.index, drained)
                 yield Compute(config.UNLOCK_NS)
                 sq.lock.release(kt)
 

@@ -13,13 +13,20 @@ from __future__ import annotations
 from typing import Optional
 
 from repro import config
+from repro.trace.tracer import NULL_TRACER
 
 
 class TryLock:
-    """Non-blocking mutual exclusion for one Rx queue."""
+    """Non-blocking mutual exclusion for one Rx queue.
 
-    def __init__(self, name: str = "rxq-lock"):
+    ``tracer`` (optional) records every attempt's outcome; the owner
+    object passed to :meth:`try_acquire` must then be a KThread-like
+    object (``tid``/``name``/``core``) for the event to be attributed.
+    """
+
+    def __init__(self, name: str = "rxq-lock", tracer=None):
         self.name = name
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.owner: Optional[object] = None
         self.acquisitions = 0
         #: failed acquisition attempts ("busy tries", Figures 7-8)
@@ -32,10 +39,14 @@ class TryLock:
         if self.owner is None:
             self.owner = owner
             self.acquisitions += 1
+            if self.tracer.enabled:
+                self.tracer.trylock(owner, self.name, acquired=True)
             return True
         if self.owner is owner:
             raise RuntimeError(f"{owner!r} re-acquiring lock it already holds")
         self.busy_tries += 1
+        if self.tracer.enabled:
+            self.tracer.trylock(owner, self.name, acquired=False)
         return False
 
     def release(self, owner: object) -> None:

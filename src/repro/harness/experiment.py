@@ -14,7 +14,7 @@ from typing import Callable, List, Optional
 
 from repro import config
 from repro.core.metronome import MetronomeGroup
-from repro.core.tuning import AdaptiveTuner, FixedTuner, TunerBase
+from repro.core.tuning import AdaptiveTuner, TunerBase
 from repro.dpdk.app import PacketApp
 from repro.dpdk.lcore import PollModeLcore
 from repro.kernel.machine import Machine
@@ -52,6 +52,12 @@ class BaseRunResult:
     @property
     def throughput_mpps(self) -> float:
         return self.delivered / (self.duration_ns / SEC) / 1e6
+
+    @property
+    def tracer(self):
+        """The machine's event tracer (NULL_TRACER unless ``trace=True``)."""
+        machine = getattr(self, "machine", None)
+        return machine.tracer if machine is not None else None
 
 
 @dataclass
@@ -115,15 +121,20 @@ def run_metronome(
     flush_before_sleep: bool = False,
     setup_hook: Optional[Callable[[Machine, MetronomeGroup], None]] = None,
     warmup_ms: int = 0,
+    trace: bool = False,
 ) -> MetronomeRunResult:
     """Run Metronome over one shared Rx queue.
 
     ``rate`` is either a pps int (CBR traffic) or a ready
     :class:`ArrivalProcess`.  ``setup_hook`` runs after the group starts
-    (e.g. to add interference workloads or samplers).
+    (e.g. to add interference workloads or samplers).  ``trace=True``
+    enables nanosecond event tracing (see :mod:`repro.trace`) without
+    perturbing the run; read it back via ``result.tracer``.
     """
     cfg = cfg or config.SimConfig()
     machine = Machine(cfg)
+    if trace:
+        machine.enable_tracing()
     process = rate if isinstance(rate, ArrivalProcess) else CbrProcess(int(rate))
     queue = _make_queue(
         machine,
@@ -202,10 +213,13 @@ def run_dpdk(
     nice: int = 0,
     ring_size: Optional[int] = None,
     setup_hook: Optional[Callable[[Machine, PollModeLcore], None]] = None,
+    trace: bool = False,
 ) -> DpdkRunResult:
     """Run the static continuous-polling DPDK baseline (one lcore)."""
     cfg = cfg or config.SimConfig()
     machine = Machine(cfg)
+    if trace:
+        machine.enable_tracing()
     process = rate if isinstance(rate, ArrivalProcess) else CbrProcess(int(rate))
     queue = _make_queue(
         machine, process, ring_size or cfg.rx_ring_size, cfg.latency_sample_every
@@ -242,6 +256,7 @@ def run_xdp(
     cores: Optional[List[int]] = None,
     ring_size: Optional[int] = None,
     prewarmed: bool = True,
+    trace: bool = False,
 ) -> XdpRunResult:
     """Run the XDP baseline: ``num_queues`` queues, 1:1 queue-to-core.
 
@@ -253,6 +268,8 @@ def run_xdp(
 
     cfg = cfg or config.SimConfig()
     machine = Machine(cfg)
+    if trace:
+        machine.enable_tracing()
     per_queue = int(rate_pps) // num_queues
     processes = [CbrProcess(per_queue) for _ in range(num_queues)]
     port = NicPort(

@@ -45,3 +45,19 @@ def render_table(
     if note:
         lines.append(f"note: {note}")
     return "\n".join(lines)
+
+
+def render_metrics(registry, title: str = "metrics", prefix: str = "") -> str:
+    """Render a :class:`~repro.metrics.registry.MetricsRegistry` snapshot.
+
+    Histogram values (summary dicts) are flattened into one row per
+    statistic; counters and gauges print as single rows.
+    """
+    rows = []
+    for name, value in registry.snapshot(prefix=prefix).items():
+        if isinstance(value, dict):
+            for stat, v in value.items():
+                rows.append((f"{name}.{stat}", v))
+        else:
+            rows.append((name, value))
+    return render_table(title, ["metric", "value"], rows)

@@ -7,15 +7,13 @@ Durations are parameterized so tests can run abbreviated versions.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro import config
 from repro.core.model import pdf_vacation
-from repro.core.tuning import AdaptiveTuner, FixedTuner
+from repro.core.tuning import FixedTuner
 from repro.harness.experiment import (
-    MetronomeRunResult,
     run_dpdk,
     run_metronome,
     run_xdp,
@@ -25,7 +23,7 @@ from repro.kernel.thread import Exit
 from repro.metrics.cpu import CpuSampler
 from repro.metrics.latency import LatencyStats
 from repro.metrics.recorder import TimeSeries
-from repro.nic.traffic import CbrProcess, RampProfile, gbps_to_pps, triangle_ramp
+from repro.nic.traffic import CbrProcess, gbps_to_pps, triangle_ramp
 from repro.sim.units import MS, SEC, US
 
 LINE = config.LINE_RATE_PPS

@@ -37,11 +37,15 @@ class HrTimer:
         self._handle = None
 
     def cancel(self) -> None:
-        """Disarm; the callback will not run.  Idempotent."""
+        """Disarm; the callback will not run.  Idempotent; a no-op once
+        the timer fired (the trace then shows fire, never cancel)."""
         if not self.fired and not self.cancelled:
             self.cancelled = True
             if self._handle is not None:
                 self._handle.cancel()
+            tracer = self.queue.machine.tracer
+            if tracer.enabled:
+                tracer.timer_cancel(self.queue.core.index, self.expiry)
 
 
 class HrTimerQueue:
@@ -70,6 +74,9 @@ class HrTimerQueue:
             expiry + config.TIMER_IRQ_LATENCY_NS, self._fire, timer
         )
         self._armed[id(timer)] = timer
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.timer_arm(self.core.index, expiry)
         return timer
 
     def next_expiry(self) -> Optional[int]:
@@ -86,6 +93,9 @@ class HrTimerQueue:
         timer.fired = True
         self.fired_count += 1
         core = self.core
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.timer_fire(core.index, timer.expiry, idle=not core.is_busy)
         if core.is_busy:
             # handler steals time from whatever the core is doing
             core.inject_irq_time(config.TIMER_IRQ_HANDLER_NS)

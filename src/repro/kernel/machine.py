@@ -10,7 +10,7 @@ CPU/energy accounting.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional
+from typing import List, Optional
 
 from repro import config
 from repro.kernel.cpu import Core
@@ -21,8 +21,10 @@ from repro.kernel.power import PowerMeter, make_governor
 from repro.kernel.scheduler import CfsScheduler
 from repro.kernel.sleep import HrSleep, Nanosleep, SleepService
 from repro.kernel.thread import KThread
+from repro.metrics.registry import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.rng import RandomStreams
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class Machine:
@@ -32,6 +34,10 @@ class Machine:
         self.cfg = cfg or config.SimConfig()
         self.sim = Simulator()
         self.streams = RandomStreams(self.cfg.seed)
+        #: unified counters/gauges/histograms for every subsystem
+        self.metrics = MetricsRegistry()
+        #: event tracer; the no-op singleton unless enable_tracing() ran
+        self.tracer = NULL_TRACER
         self.cores: List[Core] = [Core(self, i) for i in range(self.cfg.num_cores)]
         if self.cfg.smt_pairs:
             for a, b in self.cfg.smt_pairs:
@@ -85,6 +91,18 @@ class Machine:
         if name == "nanosleep":
             return Nanosleep(self)
         raise ValueError(f"unknown sleep service {name!r}")
+
+    def enable_tracing(self) -> Tracer:
+        """Install a live event tracer (idempotent; returns it).
+
+        Call before building workloads so construction-time hooks (e.g.
+        the Metronome trylocks) bind to the live tracer.  Tracing adds
+        no simulator events and draws no randomness, so enabling it
+        never changes a run's results.
+        """
+        if not isinstance(self.tracer, Tracer):
+            self.tracer = Tracer(self.sim)
+        return self.tracer
 
     # ------------------------------------------------------------------ #
     # running

@@ -120,6 +120,9 @@ class CfsScheduler:
         thread.state = ThreadState.RUNNABLE
         thread.wakeups += 1
         thread.runnable_since = self.sim.now
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.thread_wake(thread)
         # sleeper fairness: don't let long sleepers bank unbounded credit
         floor = cs.min_vruntime - config.SCHED_LATENCY_NS // 2
         if thread.vruntime < floor:
@@ -312,6 +315,9 @@ class CfsScheduler:
         now = self.sim.now
         thread.state = ThreadState.RUNNING
         thread.dispatch_latency_ns += now - thread.runnable_since
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.thread_dispatch(thread, now - thread.runnable_since)
         thread.run_since = now
         core.current = thread
         core.last_thread = thread
@@ -419,6 +425,9 @@ class CfsScheduler:
             raise RuntimeError(f"{thread} yielded unknown action {action!r}")
 
     def _deschedule(self, cs: _CoreSched, thread: KThread, state: ThreadState) -> None:
+        tracer = self.machine.tracer
+        if tracer.enabled and state is ThreadState.SLEEPING:
+            tracer.thread_sleep(thread)
         thread.state = state
         thread.action = None
         cs.core.current = None
@@ -429,6 +438,9 @@ class CfsScheduler:
         self._dispatch(cs)
 
     def _exit_thread(self, cs: _CoreSched, thread: KThread, value) -> None:
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.thread_exit(thread)
         thread.state = ThreadState.DEAD
         thread.action = None
         thread.exit_value = value
@@ -499,6 +511,9 @@ class CfsScheduler:
         thread = cs.core.current
         self._account(cs)
         thread.preemptions += 1
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.thread_preempt(thread)
         thread.state = ThreadState.RUNNABLE
         thread.runnable_since = self.sim.now
         cs.core.current = None

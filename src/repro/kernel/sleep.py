@@ -51,11 +51,19 @@ class SleepService:
     def __init__(self, machine: "Machine"):  # noqa: F821
         self.machine = machine
         self._rng = machine.streams.stream(f"sleep.{self.name}")
-        #: number of completed sleep calls (all threads)
-        self.calls = 0
+        #: completed-call counter, owned by the machine's metrics
+        #: registry (read back through the ``calls`` property)
+        self._calls = machine.metrics.counter(
+            machine.metrics.unique_name(f"sleep.{self.name}.calls")
+        )
         #: §5.4 patch: if > 0, requests below this granularity return
         #: immediately instead of arming a timer (sub-us hr_sleep patch)
         self.immediate_below_ns = 0
+
+    @property
+    def calls(self) -> int:
+        """Number of completed sleep calls (all threads)."""
+        return self._calls.value
 
     # -- knobs implemented by subclasses -------------------------------- #
 
@@ -78,12 +86,17 @@ class SleepService:
         """
         if duration_ns < 0:
             raise ValueError(f"negative sleep {duration_ns}")
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.sleep_enter(kt, duration_ns, self.name)
         half_entry = config.SYSCALL_ENTRY_EXIT_NS // 2
         if 0 < duration_ns < self.immediate_below_ns:
             # the paper's §5.4 patch: sub-granularity requests return
             # right away (degenerates towards continuous polling)
             yield Compute(config.SYSCALL_ENTRY_EXIT_NS)
-            self.calls += 1
+            self._calls.inc()
+            if tracer.enabled:
+                tracer.sleep_return(kt, immediate=True)
             return
         yield Compute(half_entry + self._jitter(self.preamble_ns()))
         now = self.machine.sim.now
@@ -92,12 +105,19 @@ class SleepService:
             # sub-granularity request: return immediately (the paper's
             # §5.4 patch makes hr_sleep return for sub-us requests)
             yield Compute(self._jitter(self.postamble_ns()) + half_entry)
+            self._calls.inc()
+            if tracer.enabled:
+                tracer.sleep_return(kt, immediate=True)
             return
         queue = self.machine.hrtimers[kt.core.index]
         queue.arm(expiry, kt.wake)
+        if tracer.enabled:
+            tracer.sleep_armed(kt, expiry)
         yield Suspend()
-        self.calls += 1
+        self._calls.inc()
         yield Compute(self._jitter(self.postamble_ns()) + half_entry)
+        if tracer.enabled:
+            tracer.sleep_return(kt)
 
     def _jitter(self, mean_ns: int) -> int:
         """±10% uniform jitter on a kernel-path cost."""

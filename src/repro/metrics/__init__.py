@@ -9,6 +9,7 @@ from repro.metrics.breakdown import LatencyBreakdown
 from repro.metrics.cpu import CpuSampler
 from repro.metrics.latency import BoxplotStats, LatencyStats
 from repro.metrics.recorder import TimeSeries
+from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "LatencyStats",
@@ -16,4 +17,8 @@ __all__ = [
     "LatencyBreakdown",
     "CpuSampler",
     "TimeSeries",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
 ]

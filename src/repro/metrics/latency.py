@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 
 @dataclass
@@ -33,31 +33,36 @@ class LatencyStats:
 
     def __init__(self) -> None:
         self._samples: List[int] = []
-        self._sorted = True
+        #: lazily built sorted copy; never sorts _samples in place, so
+        #: observation (time) order survives percentile queries
+        self._sorted_view: Optional[List[int]] = None
 
     def add(self, value_ns: int) -> None:
         if value_ns < 0:
             raise ValueError(f"negative latency {value_ns}")
         self._samples.append(value_ns)
-        self._sorted = False
+        self._sorted_view = None
 
     def extend(self, values) -> None:
         for v in values:
             self.add(v)
 
     def _ensure_sorted(self) -> List[int]:
-        if not self._sorted:
-            self._samples.sort()
-            self._sorted = True
-        return self._samples
+        if self._sorted_view is None:
+            self._sorted_view = sorted(self._samples)
+        return self._sorted_view
 
     @property
     def count(self) -> int:
         return len(self._samples)
 
     def samples(self) -> List[int]:
-        """All raw samples (unsorted insertion order not guaranteed)."""
+        """All raw samples, in observation (insertion) order."""
         return list(self._samples)
+
+    def sorted_samples(self) -> List[int]:
+        """All samples in ascending order (copy; does not alias state)."""
+        return list(self._ensure_sorted())
 
     def mean(self) -> float:
         if not self._samples:

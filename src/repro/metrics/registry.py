@@ -1,0 +1,165 @@
+"""A unified registry of named counters, gauges and histograms.
+
+Before this module every subsystem kept its own ad-hoc stats
+(``MetronomeThreadStats`` fields, ``SleepService.calls``, ring drop
+counters, ...).  The registry puts them behind one queryable interface:
+components either own a registry primitive directly (a
+:class:`Counter` they increment) or register a read-through
+:class:`Gauge` callback over state they already keep, and reporting
+code renders the whole machine's metrics from a single snapshot.
+
+Conventions: dotted lowercase names (``sleep.hr_sleep.calls``,
+``rxq0.drops``, ``metronome.0.packets``); a name maps to exactly one
+primitive — :meth:`MetricsRegistry.unique_name` derives a free variant
+for per-instance metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.metrics.latency import LatencyStats
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or read through a
+    callback over state the owning component already maintains."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], Any]] = None):
+        self.name = name
+        self._value: Any = 0
+        self._fn = fn
+
+    def set(self, value: Any) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        return self._fn() if self._fn is not None else self._value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A distribution of observations (thin wrapper over LatencyStats)."""
+
+    __slots__ = ("name", "stats")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.stats = LatencyStats()
+
+    def observe(self, value: int) -> None:
+        self.stats.add(value)
+
+    @property
+    def value(self) -> Dict[str, float]:
+        """Summary dict (count/mean/p50/p99/max); empty → zeros."""
+        st = self.stats
+        if st.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": st.count,
+            "mean": st.mean(),
+            "p50": st.percentile(50),
+            "p99": st.percentile(99),
+            "max": st.percentile(100),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.stats.count}>"
+
+
+class MetricsRegistry:
+    """Named metric primitives with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # creation / lookup
+    # ------------------------------------------------------------------ #
+
+    def _get_or_create(self, name: str, cls, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str, fn: Optional[Callable[[], Any]] = None) -> Gauge:
+        """Get or create a gauge; with ``fn`` the gauge is read-through
+        (``fn`` replaces any previous callback under the same name)."""
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, fn))
+        if fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name))
+
+    def unique_name(self, base: str) -> str:
+        """``base`` if free, else ``base.2``, ``base.3``, ... (so
+        per-instance metrics never silently share a primitive)."""
+        if base not in self._metrics:
+            return base
+        n = 2
+        while f"{base}.{n}" in self._metrics:
+            n += 1
+        return f"{base}.{n}"
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+
+    def get(self, name: str) -> object:
+        return self._metrics[name]
+
+    def value(self, name: str) -> Any:
+        return self._metrics[name].value
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """Current value of every metric (optionally name-filtered)."""
+        return {
+            name: metric.value
+            for name, metric in sorted(self._metrics.items())
+            if name.startswith(prefix)
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)

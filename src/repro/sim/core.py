@@ -24,12 +24,19 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
 
 
+#: sentinel stored in entry[3] once the callback has actually run, so a
+#: late cancel() cannot masquerade as having prevented execution
+_FIRED = object()
+
+
 class Handle:
     """A cancellable reference to a scheduled callback.
 
     ``Handle`` wraps the mutable heap entry; calling :meth:`cancel` marks
     the entry dead without touching the heap, and the run loop discards it
-    on pop.
+    on pop.  Entries are marked fired when their callback runs, so
+    :attr:`cancelled` and :attr:`fired` stay mutually exclusive even if
+    :meth:`cancel` is called after the fact.
     """
 
     __slots__ = ("_entry",)
@@ -47,9 +54,17 @@ class Handle:
         """True if :meth:`cancel` was called before the callback fired."""
         return self._entry[3] is None
 
+    @property
+    def fired(self) -> bool:
+        """True once the callback has actually run."""
+        return self._entry[3] is _FIRED
+
     def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
-        self._entry[3] = None
+        """Prevent the callback from running.  Idempotent; a no-op on an
+        entry whose callback already ran (which stays ``fired``, not
+        ``cancelled``)."""
+        if self._entry[3] is not _FIRED:
+            self._entry[3] = None
 
 
 class Event:
@@ -146,11 +161,13 @@ class Simulator:
         """
         heap = self._heap
         while heap:
-            when, _seq, args, fn = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            fn = entry[3]
             if fn is None:  # tombstone from Handle.cancel()
                 continue
-            self.now = when
-            fn(*args)
+            entry[3] = _FIRED
+            self.now = entry[0]
+            fn(*entry[2])
             return True
         return False
 
@@ -171,11 +188,13 @@ class Simulator:
             while heap and not self._stopped:
                 if until is not None and heap[0][0] > until:
                     break
-                when, _seq, args, fn = pop(heap)
+                entry = pop(heap)
+                fn = entry[3]
                 if fn is None:
                     continue
-                self.now = when
-                fn(*args)
+                entry[3] = _FIRED
+                self.now = entry[0]
+                fn(*entry[2])
         finally:
             self._running = False
         if until is not None and self.now < until and not self._stopped:

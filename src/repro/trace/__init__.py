@@ -1,0 +1,34 @@
+"""Nanosecond-resolution event tracing (the paper's Figure 1 anatomy).
+
+The tracing layer has three parts:
+
+* :mod:`repro.trace.tracer` — the :class:`Tracer` itself: typed events
+  (thread wake/sleep/preempt, timer arm/fire, trylock outcomes,
+  busy-drain spans, TX flushes) recorded with the simulator's integer-ns
+  timestamps.  The :data:`NULL_TRACER` singleton is installed on every
+  :class:`~repro.kernel.machine.Machine` by default; every
+  instrumentation point guards on ``tracer.enabled``, so tracing is
+  zero-cost (and zero-perturbation: no RNG draws, no simulator events)
+  when disabled.
+* :mod:`repro.trace.chrome` — a Chrome trace-event JSON exporter; the
+  file loads in Perfetto / ``chrome://tracing`` with one track per core
+  and per thread.
+* :mod:`repro.trace.anatomy` — the wake-latency anatomy report: each
+  sleep→wake→first-poll cycle decomposed into the paper's Figure 1
+  stages (preamble+arm, expiry→wake, dispatch, postamble, return→poll).
+"""
+
+from repro.trace.anatomy import anatomy_report, wake_anatomy
+from repro.trace.chrome import chrome_trace_dict, write_chrome_trace
+from repro.trace.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "wake_anatomy",
+    "anatomy_report",
+]

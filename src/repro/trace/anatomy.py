@@ -1,0 +1,142 @@
+"""Wake-latency anatomy: the paper's Figure 1 decomposed per cycle.
+
+The paper's §3.1 argument is that a sleep call's imprecision is the sum
+of distinct stages; this module reconstructs those stages for every
+completed sleep→wake→first-poll cycle from the trace:
+
+``arm``
+    ``sleep.enter`` → ``sleep.armed``: syscall entry + preamble
+    (copy_from_user / ktime conversion for nanosleep), including any
+    preemption suffered before the timer was programmed.
+``expiry_to_wake``
+    programmed expiry → ``thread.wake``: hardware timer IRQ latency,
+    C-state exit when the core was idle, handler time — plus, for
+    nanosleep, the timer-slack the range timer added to the expiry
+    itself (visible as the requested-vs-expiry gap, reported
+    separately as ``slack``).
+``dispatch``
+    ``thread.wake`` → ``thread.dispatch``: scheduler latency (runqueue
+    wait, context switch, wakeup-preemption outcome).
+``postamble``
+    ``thread.dispatch`` → ``sleep.return``: kernel exit path back to
+    user space.
+``return_to_poll``
+    ``sleep.return`` → first ``trylock.*``/``drain.begin``: the loop
+    top until the first queue poll.
+``oversleep``
+    requested duration vs. what the caller actually got
+    (``sleep.return`` − ``sleep.enter`` − requested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metrics.latency import LatencyStats
+from repro.trace.tracer import Tracer
+
+#: report row order
+STAGES = ("arm", "slack", "expiry_to_wake", "dispatch", "postamble",
+          "return_to_poll", "oversleep")
+
+_POLL_EVENTS = ("trylock.acquire", "trylock.contended", "drain.begin")
+
+
+class _Cycle:
+    __slots__ = ("enter", "requested", "armed", "expiry", "wake",
+                 "dispatch", "ret")
+
+    def __init__(self, enter: int, requested: int):
+        self.enter = enter
+        self.requested = requested
+        self.armed: Optional[int] = None
+        self.expiry: Optional[int] = None
+        self.wake: Optional[int] = None
+        self.dispatch: Optional[int] = None
+        self.ret: Optional[int] = None
+
+
+def wake_anatomy(tracer: Tracer) -> Dict[str, LatencyStats]:
+    """Aggregate per-stage latencies over all completed sleep cycles.
+
+    Only cycles that armed a timer are decomposed (the §5.4 immediate
+    paths have no wake pipeline); a cycle completes when the thread's
+    first poll after ``sleep.return`` is seen.
+    """
+    stats = {stage: LatencyStats() for stage in STAGES}
+    open_cycles: Dict[int, _Cycle] = {}      # tid -> cycle being built
+    awaiting_poll: Dict[int, _Cycle] = {}    # tid -> returned, needs poll
+
+    for ev in tracer.events:
+        tid = ev.tid
+        if tid is None:
+            continue
+        if ev.name == "sleep.enter":
+            open_cycles[tid] = _Cycle(ev.ts, ev.args.get("requested_ns", 0))
+            awaiting_poll.pop(tid, None)
+        elif ev.name == "sleep.armed":
+            cyc = open_cycles.get(tid)
+            if cyc is not None:
+                cyc.armed = ev.ts
+                cyc.expiry = ev.args.get("expiry")
+        elif ev.name == "thread.wake":
+            cyc = open_cycles.get(tid)
+            if cyc is not None and cyc.armed is not None and cyc.wake is None:
+                cyc.wake = ev.ts
+        elif ev.name == "thread.dispatch":
+            cyc = open_cycles.get(tid)
+            if cyc is not None and cyc.wake is not None and cyc.dispatch is None:
+                cyc.dispatch = ev.ts
+        elif ev.name == "sleep.return":
+            cyc = open_cycles.pop(tid, None)
+            if cyc is not None and cyc.armed is not None:
+                cyc.ret = ev.ts
+                awaiting_poll[tid] = cyc
+        elif ev.name in _POLL_EVENTS:
+            cyc = awaiting_poll.pop(tid, None)
+            if cyc is not None:
+                _commit(stats, cyc, ev.ts)
+    return stats
+
+
+def _commit(stats: Dict[str, LatencyStats], cyc: _Cycle, poll_ts: int) -> None:
+    if cyc.armed is None or cyc.ret is None:
+        return
+    stats["arm"].add(cyc.armed - cyc.enter)
+    if cyc.expiry is not None:
+        # slack: how far past "armed + requested" the expiry was set
+        stats["slack"].add(max(0, cyc.expiry - cyc.armed - cyc.requested))
+        if cyc.wake is not None:
+            stats["expiry_to_wake"].add(max(0, cyc.wake - cyc.expiry))
+    if cyc.wake is not None and cyc.dispatch is not None:
+        stats["dispatch"].add(cyc.dispatch - cyc.wake)
+        stats["postamble"].add(cyc.ret - cyc.dispatch)
+    stats["return_to_poll"].add(poll_ts - cyc.ret)
+    stats["oversleep"].add(max(0, cyc.ret - cyc.enter - cyc.requested))
+
+
+def anatomy_report(tracer: Tracer, title: str = "wake-latency anatomy") -> str:
+    """Plain-text per-stage table (count, mean/p50/p99/max in us)."""
+    from repro.harness.report import render_table
+
+    stats = wake_anatomy(tracer)
+    rows: List[tuple] = []
+    for stage in STAGES:
+        st = stats[stage]
+        if st.count == 0:
+            rows.append((stage, 0, "-", "-", "-", "-"))
+            continue
+        rows.append((
+            stage,
+            st.count,
+            f"{st.mean() / 1e3:.3f}",
+            f"{st.percentile(50) / 1e3:.3f}",
+            f"{st.percentile(99) / 1e3:.3f}",
+            f"{st.percentile(100) / 1e3:.3f}",
+        ))
+    return render_table(
+        title,
+        ["stage", "cycles", "mean us", "p50 us", "p99 us", "max us"],
+        rows,
+        note="stages per Figure 1: enter→arm→expiry→wake→dispatch→return→poll",
+    )

@@ -1,0 +1,141 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+The exporter maps the simulation onto the trace-event model:
+
+* each **core** becomes a process (``pid`` = core index) so Perfetto
+  shows one swim-lane group per core;
+* each **thread** becomes a thread track inside its core's process
+  (``tid`` = KThread tid);
+* core-scoped events (hrtimer arm/fire/cancel) land on a reserved
+  ``tid`` 0 "hrtimers" track of their core;
+* queue-scoped events (TX flushes) land on a synthetic "nic" process
+  (``pid`` = :data:`NIC_PID`) with one track per queue.
+
+Timestamps are emitted in microseconds (the trace-event unit) as exact
+fractions of the integer-ns clock, and span events use ``B``/``E``
+pairs so drains and sleeps render as nested slices.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.trace.tracer import Tracer
+
+#: synthetic "process" hosting queue-scoped (non-CPU) tracks
+NIC_PID = 999
+
+#: reserved per-core tid for hrtimer events (KThread tids start at 1)
+TIMER_TID = 0
+
+#: the phases this exporter emits (subset of the trace-event spec)
+VALID_PHASES = ("B", "E", "i", "M")
+
+
+def chrome_trace_dict(tracer: Tracer) -> Dict[str, Any]:
+    """Build the trace-event JSON object for ``tracer``'s events."""
+    trace_events: List[Dict[str, Any]] = []
+    seen_cores: Dict[int, bool] = {}
+    seen_threads: Dict[int, str] = {}
+    seen_queues: Dict[int, bool] = {}
+
+    for ev in tracer.events:
+        if ev.tid is not None:
+            pid, tid = ev.core, ev.tid
+            seen_threads.setdefault(ev.tid, ev.thread or f"tid {ev.tid}")
+            seen_cores.setdefault(ev.core, True)
+        elif ev.core is not None:
+            pid, tid = ev.core, TIMER_TID
+            seen_cores.setdefault(ev.core, True)
+        else:
+            queue = ev.args.get("queue", 0)
+            pid, tid = NIC_PID, queue
+            seen_queues.setdefault(queue, True)
+        record: Dict[str, Any] = {
+            "name": ev.name,
+            "cat": ev.name.split(".", 1)[0],
+            "ph": ev.phase if ev.phase in ("B", "E") else "i",
+            "ts": ev.ts / 1e3,
+            "pid": pid,
+            "tid": tid,
+        }
+        if ev.phase == "i":
+            record["s"] = "t"  # instant scope: thread
+        if ev.args:
+            record["args"] = dict(ev.args)
+        trace_events.append(record)
+
+    meta: List[Dict[str, Any]] = []
+    for core in sorted(seen_cores):
+        meta.append(_meta("process_name", core, args={"name": f"core {core}"}))
+        meta.append(_meta("thread_name", core, tid=TIMER_TID,
+                          args={"name": "hrtimers"}))
+    for tid, name in sorted(seen_threads.items()):
+        for core in sorted(seen_cores):
+            # a thread is pinned: name its track on the core it appears on
+            if any(e.tid == tid and e.core == core for e in tracer.events):
+                meta.append(_meta("thread_name", core, tid=tid,
+                                  args={"name": name}))
+                break
+    if seen_queues:
+        meta.append(_meta("process_name", NIC_PID, args={"name": "nic"}))
+        for q in sorted(seen_queues):
+            meta.append(_meta("thread_name", NIC_PID, tid=q,
+                              args={"name": f"rxq{q} tx"}))
+
+    return {
+        "traceEvents": meta + trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "simulated-ns", "events": len(trace_events)},
+    }
+
+
+def _meta(name: str, pid: int, tid: int = 0, args: Dict[str, Any] = None) -> Dict:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid,
+            "ts": 0, "args": args or {}}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Serialize to ``path``; returns the number of trace events."""
+    doc = chrome_trace_dict(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc["otherData"]["events"]
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Check ``doc`` against the trace-event schema we rely on.
+
+    Returns a list of problems (empty = valid).  Used by the golden
+    tests and by ``repro trace`` as a self-check after export.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            problems.append(f"event {i}: bad phase {ph!r}")
+        if not isinstance(ev.get("ts", 0), (int, float)) or ev.get("ts", 0) < 0:
+            problems.append(f"event {i}: bad ts {ev.get('ts')!r}")
+    # B/E spans must balance per (pid, tid)
+    depth: Dict[tuple, int] = {}
+    for ev in events:
+        key = (ev.get("pid"), ev.get("tid"))
+        if ev.get("ph") == "B":
+            depth[key] = depth.get(key, 0) + 1
+        elif ev.get("ph") == "E":
+            depth[key] = depth.get(key, 0) - 1
+            if depth[key] < 0:
+                problems.append(f"unbalanced E on track {key}")
+                depth[key] = 0
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"not JSON-serializable: {exc}")
+    return problems

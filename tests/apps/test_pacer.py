@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.pacer import SleepPacer
-from repro.sim.units import MS, SEC
+from repro.sim.units import SEC
 
 from tests.conftest import make_machine
 

@@ -8,7 +8,7 @@ from repro.core.tuning import AdaptiveTuner, FixedTuner
 from repro.dpdk.app import CountingApp
 from repro.nic.rxqueue import RxQueue
 from repro.nic.traffic import CbrProcess
-from repro.sim.units import MS, SEC, US
+from repro.sim.units import MS, US
 
 from tests.conftest import make_machine
 

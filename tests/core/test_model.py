@@ -1,6 +1,5 @@
 """Unit and property tests for the analytical model (paper §4.2, App. C)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -5,7 +5,6 @@ If any scheduler path leaks or double-counts time, these tests trip.
 """
 
 from repro import config
-from repro.core.tuning import AdaptiveTuner
 from repro.harness.experiment import run_metronome
 from repro.kernel.thread import Compute, Exit
 from repro.sim.units import MS, US

@@ -4,7 +4,6 @@ from repro import config
 from repro.kernel.thread import Compute, Exit, Suspend
 from repro.sim.units import MS, US
 
-from tests.conftest import make_machine
 
 
 def test_timer_fires_with_pipeline_latency(machine):

@@ -2,7 +2,7 @@
 
 from repro import config
 from repro.kernel.thread import BusySpin, Compute, Exit
-from repro.sim.units import MS, US
+from repro.sim.units import MS
 
 from tests.conftest import make_machine
 

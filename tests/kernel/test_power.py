@@ -5,7 +5,7 @@ import math
 from repro import config
 from repro.kernel.power import core_power_w
 from repro.kernel.thread import BusySpin, Compute, Exit
-from repro.sim.units import MS, SEC, US
+from repro.sim.units import MS, SEC
 
 from tests.conftest import make_machine
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import config
 from repro.kernel.thread import BusySpin, Compute, Exit, Suspend, ThreadState, YieldCpu
 from repro.sim.units import MS, US
 

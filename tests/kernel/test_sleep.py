@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro import config
 from repro.kernel.sleep import HrSleep, Nanosleep
 from repro.kernel.thread import Exit
-from repro.sim.units import MS, US
+from repro.sim.units import US
 
 from tests.conftest import make_machine
 
@@ -159,3 +158,53 @@ def test_make_service_factory(machine):
     assert isinstance(make_service(machine, "nanosleep"), Nanosleep)
     with pytest.raises(ValueError):
         make_service(machine, "powernap")
+
+
+# --------------------------------------------------------------------- #
+# degenerate-path call counting (regression: the expiry <= now early
+# return skipped the calls counter, undercounting under the §5.4 patch)
+# --------------------------------------------------------------------- #
+
+
+def test_zero_duration_sleep_counts_call(machine):
+    """expiry == now (hr_sleep of 0 ns) takes the early-return path."""
+    service = machine.sleep_service("hr_sleep")
+
+    def body(kt):
+        for _ in range(5):
+            yield from service.call(kt, 0)
+        yield Exit()
+
+    machine.spawn(body, name="zero", core=0)
+    machine.run()
+    assert service.calls == 5
+
+
+def test_immediate_patch_counts_calls(machine):
+    """Both §5.4 degenerate paths count: immediate_below and expiry<=now."""
+    service = machine.sleep_service("hr_sleep")
+    service.immediate_below_ns = 1 * US
+
+    def body(kt):
+        yield from service.call(kt, 500)     # immediate_below path
+        yield from service.call(kt, 0)       # expiry <= now path
+        yield from service.call(kt, 10 * US)  # full timer path
+        yield Exit()
+
+    machine.spawn(body, name="mixed", core=0)
+    machine.run()
+    assert service.calls == 3
+
+
+def test_calls_counter_lives_in_registry(machine):
+    """SleepService.calls is backed by the machine metrics registry."""
+    service = machine.sleep_service("hr_sleep")
+
+    def body(kt):
+        yield from service.call(kt, 10 * US)
+        yield Exit()
+
+    machine.spawn(body, name="reg", core=0)
+    machine.run()
+    assert machine.metrics.value("sleep.hr_sleep.calls") == 1
+    assert service.calls == 1

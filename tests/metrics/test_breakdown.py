@@ -57,8 +57,8 @@ def test_breakdown_in_live_run():
         for sq in group.shared:
             sq.txbuf.on_tx = bd.on_tx
 
-    res = run_metronome(config.LINE_RATE_PPS, duration_ms=20,
-                        cfg=config.SimConfig(seed=5), setup_hook=hook)
+    run_metronome(config.LINE_RATE_PPS, duration_ms=20,
+                  cfg=config.SimConfig(seed=5), setup_hook=hook)
     assert bd.count > 100
     m = bd.mean_components_us()
     # components are all positive and consistent

@@ -96,3 +96,32 @@ def test_summary_string():
     assert "n=3" in text
     assert "mean=2.00us" in text
     assert LatencyStats().summary_us() == "no samples"
+
+
+# --------------------------------------------------------------------- #
+# insertion-order preservation (regression: the first percentile query
+# used to sort _samples in place, silently reordering samples())
+# --------------------------------------------------------------------- #
+
+
+def test_samples_keep_insertion_order_after_percentile():
+    s = filled([30, 10, 20])
+    assert s.percentile(50) == 20  # triggers the sorted view
+    assert s.samples() == [30, 10, 20]
+
+
+def test_samples_order_survives_boxplot_and_growth():
+    s = filled([5, 1, 3])
+    s.boxplot()
+    s.add(2)
+    s.percentile(99)
+    assert s.samples() == [5, 1, 3, 2]
+
+
+def test_sorted_samples():
+    s = filled([30, 10, 20])
+    assert s.sorted_samples() == [10, 20, 30]
+    # the sorted view is a copy: mutating it cannot corrupt the stats
+    s.sorted_samples().append(-1)
+    assert s.sorted_samples() == [10, 20, 30]
+    assert s.samples() == [30, 10, 20]

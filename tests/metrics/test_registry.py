@@ -1,0 +1,103 @@
+"""MetricsRegistry: primitives, absorption of subsystem stats, rendering."""
+
+import pytest
+
+from repro import config
+from repro.harness.experiment import run_metronome
+from repro.harness.report import render_metrics
+from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_get_or_create():
+    reg = MetricsRegistry()
+    c = reg.counter("x.calls")
+    c.inc()
+    c.inc(4)
+    assert reg.counter("x.calls") is c
+    assert reg.value("x.calls") == 5
+    assert "x.calls" in reg and len(reg) == 1
+
+
+def test_gauge_set_and_callback():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(7)
+    assert reg.value("depth") == 7
+    state = {"n": 0}
+    reg.gauge("live", fn=lambda: state["n"])
+    state["n"] = 42
+    assert reg.value("live") == 42
+    with pytest.raises(ValueError):
+        reg.gauge("live").set(1)  # callback-backed gauges are read-only
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    assert reg.value("lat")["count"] == 0
+    for v in (10, 20, 30):
+        h.observe(v)
+    summary = reg.value("lat")
+    assert summary["count"] == 3
+    assert summary["mean"] == 20
+    assert summary["max"] == 30
+
+
+def test_type_conflicts_rejected():
+    reg = MetricsRegistry()
+    reg.counter("a")
+    with pytest.raises(TypeError):
+        reg.gauge("a")
+    with pytest.raises(TypeError):
+        reg.histogram("a")
+
+
+def test_unique_name():
+    reg = MetricsRegistry()
+    assert reg.unique_name("s.calls") == "s.calls"
+    reg.counter("s.calls")
+    assert reg.unique_name("s.calls") == "s.calls.2"
+    reg.counter("s.calls.2")
+    assert reg.unique_name("s.calls") == "s.calls.3"
+
+
+def test_snapshot_prefix_filter():
+    reg = MetricsRegistry()
+    reg.counter("a.x").inc()
+    reg.counter("b.y").inc(2)
+    assert reg.snapshot() == {"a.x": 1, "b.y": 2}
+    assert reg.snapshot(prefix="b.") == {"b.y": 2}
+
+
+def test_machine_metrics_absorb_subsystem_stats():
+    """One registry exposes sleep calls, queue drops and thread stats."""
+    res = run_metronome(2_000_000, duration_ms=8,
+                        cfg=config.SimConfig(seed=4))
+    reg = res.machine.metrics
+    names = reg.names()
+    assert "sleep.hr_sleep.calls" in names
+    assert "rxq0.drops" in names
+    assert "metronome.packets" in names
+    assert "metronome.0.iterations" in names
+    # registry values agree with the legacy ad-hoc accessors
+    assert reg.value("sleep.hr_sleep.calls") == res.group.service.calls
+    assert reg.value("metronome.packets") == res.group.total_packets
+    assert reg.value("metronome.busy_tries") == res.group.busy_tries
+    assert reg.value("rxq0.drops") == res.drops
+
+
+def test_render_metrics_table():
+    reg = MetricsRegistry()
+    reg.counter("calls").inc(3)
+    reg.gauge("depth").set(1.5)
+    reg.histogram("lat").observe(10)
+    text = render_metrics(reg, title="demo")
+    assert "== demo ==" in text
+    assert "calls" in text and "3" in text
+    assert "lat.count" in text  # histograms flatten to per-stat rows
+
+
+def test_primitive_reprs():
+    assert "Counter" in repr(Counter("c"))
+    assert "Gauge" in repr(Gauge("g"))
+    assert "Histogram" in repr(Histogram("h"))

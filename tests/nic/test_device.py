@@ -3,7 +3,7 @@
 from repro.nic.device import NicPort
 from repro.nic.traffic import CbrProcess, RampProfile
 from repro.sim.core import Simulator
-from repro.sim.units import MS, US
+from repro.sim.units import MS
 
 import pytest
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.nic.packet import PacketHeader, ipv4
 from repro.nic.rss import (
-    MICROSOFT_KEY,
     RssSteering,
     hash_ipv4_only,
     hash_ipv4_tuple,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.core import Event, SimulationError, Simulator
+from repro.sim.core import SimulationError, Simulator
 
 
 def test_clock_starts_at_zero():
@@ -189,3 +189,38 @@ def test_handle_time_property():
     sim = Simulator()
     handle = sim.call_after(33, lambda: None)
     assert handle.time == 33
+
+
+# --------------------------------------------------------------------- #
+# fired-vs-cancelled truthfulness (regression: cancel() after the
+# callback ran used to report cancelled=True for a callback that ran)
+# --------------------------------------------------------------------- #
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_after(10, seen.append, "x")
+    sim.run()
+    assert seen == ["x"]
+    handle.cancel()  # too late: the callback already ran
+    assert not handle.cancelled
+    assert handle.fired
+
+
+def test_fired_and_cancelled_are_exclusive():
+    sim = Simulator()
+    fired = sim.call_after(10, lambda: None)
+    dead = sim.call_after(20, lambda: None)
+    dead.cancel()
+    sim.run()
+    assert fired.fired and not fired.cancelled
+    assert dead.cancelled and not dead.fired
+
+
+def test_fired_flag_via_step():
+    sim = Simulator()
+    handle = sim.call_after(5, lambda: None)
+    assert not handle.fired
+    assert sim.step()
+    assert handle.fired

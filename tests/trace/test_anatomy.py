@@ -1,0 +1,64 @@
+"""Wake-latency anatomy: the Figure 1 stage decomposition from a trace."""
+
+from repro import config
+from repro.harness.experiment import run_metronome
+from repro.trace.anatomy import STAGES, anatomy_report, wake_anatomy
+
+
+def traced(service="hr_sleep", seed=17):
+    return run_metronome(
+        2_000_000, duration_ms=10, cfg=config.SimConfig(seed=seed),
+        sleep_service=service, trace=True,
+    )
+
+
+def test_stages_populated_and_consistent():
+    res = traced()
+    stats = wake_anatomy(res.tracer)
+    assert set(stats) == set(STAGES)
+    n = stats["arm"].count
+    assert n > 10
+    # every decomposed cycle produced every pipeline stage
+    for stage in ("expiry_to_wake", "dispatch", "postamble",
+                  "return_to_poll", "oversleep"):
+        assert stats[stage].count == n, stage
+    # the wake pipeline includes at least the hardware IRQ latency
+    assert stats["expiry_to_wake"].mean() >= config.TIMER_IRQ_LATENCY_NS
+    # hr_sleep is a precise timer: no slack term
+    assert stats["slack"].percentile(100) == 0
+
+
+def test_nanosleep_shows_slack_and_larger_preamble():
+    hr = wake_anatomy(traced("hr_sleep").tracer)
+    ns = wake_anatomy(traced("nanosleep").tracer)
+    assert ns["slack"].mean() > 0  # the 50 us default timer slack
+    assert ns["arm"].mean() > hr["arm"].mean()  # heavier preamble
+    assert ns["oversleep"].mean() > hr["oversleep"].mean()
+
+
+def test_oversleep_matches_end_to_end_accounting():
+    """oversleep must equal the sum of its parts for a precise timer:
+    (expiry−armed gap is the requested duration) so
+    oversleep ≈ arm + expiry_to_wake + dispatch + postamble − preamble
+    is not exact; instead pin the envelope: every component ≤ oversleep."""
+    stats = wake_anatomy(traced().tracer)
+    total = stats["oversleep"].mean()
+    assert stats["expiry_to_wake"].mean() <= total
+    assert stats["dispatch"].mean() <= total
+    assert stats["postamble"].mean() <= total
+
+
+def test_report_renders_all_stages():
+    res = traced()
+    text = anatomy_report(res.tracer)
+    for stage in STAGES:
+        assert stage in text
+    assert "p99 us" in text
+
+
+def test_empty_trace_renders_empty_report():
+    res = run_metronome(1_000_000, duration_ms=5,
+                        cfg=config.SimConfig(seed=1), trace=False)
+    # NULL_TRACER: no cycles — the report must still render
+    text = anatomy_report(res.machine.tracer)
+    assert "arm" in text

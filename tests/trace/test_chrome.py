@@ -1,0 +1,82 @@
+"""Golden tests: Chrome trace-event export schema and CLI round trip."""
+
+import json
+
+from repro import config
+from repro.cli import main
+from repro.harness.experiment import run_metronome
+from repro.trace.chrome import (
+    NIC_PID,
+    VALID_PHASES,
+    chrome_trace_dict,
+    validate_chrome_trace,
+)
+
+
+def traced_run(**kw):
+    kw.setdefault("cfg", config.SimConfig(seed=11))
+    kw.setdefault("duration_ms", 10)
+    return run_metronome(2_000_000, trace=True, **kw)
+
+
+def test_export_matches_schema():
+    res = traced_run()
+    doc = chrome_trace_dict(res.tracer)
+    assert validate_chrome_trace(doc) == []
+    assert doc["traceEvents"], "no events exported"
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in VALID_PHASES
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        assert ev["ts"] >= 0
+    # round-trips through JSON
+    assert json.loads(json.dumps(doc))["displayTimeUnit"] == "ns"
+
+
+def test_export_has_per_core_and_per_thread_tracks():
+    res = traced_run()
+    doc = chrome_trace_dict(res.tracer)
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    process_names = {e["pid"]: e["args"]["name"] for e in meta
+                     if e["name"] == "process_name"}
+    thread_names = [e["args"]["name"] for e in meta
+                    if e["name"] == "thread_name"]
+    # the metronome threads ran on cores 0..m-1; each is a process
+    for core in res.group.cores:
+        assert process_names.get(core) == f"core {core}"
+    for i in range(res.group.m):
+        assert f"metronome-{i}" in thread_names
+    # TX flushes land on the synthetic nic process
+    assert process_names.get(NIC_PID) == "nic"
+
+
+def test_span_events_balance():
+    res = traced_run()
+    doc = chrome_trace_dict(res.tracer)
+    # validate_chrome_trace checks B/E balance; do an explicit count too
+    begins = sum(1 for e in doc["traceEvents"] if e["ph"] == "B")
+    ends = sum(1 for e in doc["traceEvents"] if e["ph"] == "E")
+    assert begins > 0
+    assert abs(begins - ends) <= res.group.m  # at most one open span/thread
+
+
+def test_validator_flags_bad_documents():
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    bad = {"traceEvents": [{"name": "x", "ph": "Z", "pid": 0, "tid": 0, "ts": -1}]}
+    problems = validate_chrome_trace(bad)
+    assert any("bad phase" in p for p in problems)
+    assert any("bad ts" in p for p in problems)
+    unbalanced = {"traceEvents": [
+        {"name": "x", "ph": "E", "pid": 0, "tid": 0, "ts": 1}]}
+    assert any("unbalanced" in p for p in validate_chrome_trace(unbalanced))
+
+
+def test_cli_trace_writes_valid_file(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "quickstart", "--fast", "--duration-ms", "20",
+                 "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "wake-latency anatomy" in printed
+    assert "metrics" in printed
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert any(e["name"] == "drain.begin" for e in doc["traceEvents"])

@@ -1,0 +1,55 @@
+"""Tracing must be a pure observer: enabling it changes nothing.
+
+The acceptance bar is exact — every reported number identical with and
+without tracing, and the RNG streams must end a run in the same state
+(no stream may be advanced by an instrumentation point).
+"""
+
+from repro import config
+from repro.harness.experiment import run_dpdk, run_metronome
+
+
+def fingerprint(res):
+    return (
+        res.offered,
+        res.delivered,
+        res.drops,
+        res.cpu_utilization,
+        res.energy_j,
+        res.latency.samples(),
+    )
+
+
+def rng_states(machine):
+    return {name: rng.getstate()
+            for name, rng in machine.streams._streams.items()}
+
+
+def test_metronome_results_identical_with_and_without_tracing():
+    off = run_metronome(5_000_000, duration_ms=12,
+                        cfg=config.SimConfig(seed=21), trace=False)
+    on = run_metronome(5_000_000, duration_ms=12,
+                       cfg=config.SimConfig(seed=21), trace=True)
+    assert fingerprint(off) == fingerprint(on)
+    assert (off.cycles, off.busy_tries, off.rho) == (on.cycles, on.busy_tries, on.rho)
+    assert len(on.tracer.events) > 0
+    assert len(off.tracer.events) == 0  # NULL_TRACER records nothing
+
+
+def test_rng_streams_unperturbed_by_tracing():
+    off = run_metronome(5_000_000, duration_ms=8,
+                        cfg=config.SimConfig(seed=5), trace=False)
+    on = run_metronome(5_000_000, duration_ms=8,
+                       cfg=config.SimConfig(seed=5), trace=True)
+    states_off = rng_states(off.machine)
+    states_on = rng_states(on.machine)
+    assert states_off.keys() == states_on.keys()
+    assert states_off == states_on
+
+
+def test_dpdk_results_identical_with_and_without_tracing():
+    off = run_dpdk(5_000_000, duration_ms=8,
+                   cfg=config.SimConfig(seed=13), trace=False)
+    on = run_dpdk(5_000_000, duration_ms=8,
+                  cfg=config.SimConfig(seed=13), trace=True)
+    assert fingerprint(off) == fingerprint(on)

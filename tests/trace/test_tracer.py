@@ -1,0 +1,107 @@
+"""Tracer unit tests: event ordering, typed emitters, null tracer."""
+
+from repro.kernel.thread import Exit
+from repro.sim.core import Simulator
+from repro.sim.units import US
+from repro.trace.tracer import NULL_TRACER, NullTracer, Tracer
+
+from tests.conftest import make_machine
+
+
+def test_events_are_time_ordered():
+    machine = make_machine()
+    machine.enable_tracing()
+    service = machine.sleep_service("hr_sleep")
+
+    def body(kt):
+        for _ in range(5):
+            yield from service.call(kt, 20 * US)
+        yield Exit()
+
+    machine.spawn(body, name="t", core=0)
+    machine.run()
+    ts = [e.ts for e in machine.tracer.events]
+    assert ts, "no events traced"
+    assert ts == sorted(ts)
+
+
+def test_sleep_cycle_event_sequence():
+    """One timed sleep emits the Figure 1 chain in causal order."""
+    machine = make_machine()
+    machine.enable_tracing()
+    service = machine.sleep_service("hr_sleep")
+
+    def body(kt):
+        yield from service.call(kt, 50 * US)
+        yield Exit()
+
+    machine.spawn(body, name="seq", core=0)
+    machine.run()
+    names = [e.name for e in machine.tracer.events
+             if e.name.startswith(("sleep.", "timer.", "thread."))]
+    pos = 0
+    for name in ("sleep.enter", "timer.arm", "sleep.armed", "thread.sleep",
+                 "timer.fire", "thread.wake", "thread.dispatch",
+                 "sleep.return"):
+        pos = names.index(name, pos)  # raises ValueError if out of order
+
+
+def test_timer_fire_records_lateness():
+    machine = make_machine()
+    machine.enable_tracing()
+    service = machine.sleep_service("hr_sleep")
+
+    def body(kt):
+        yield from service.call(kt, 30 * US)
+        yield Exit()
+
+    machine.spawn(body, name="late", core=0)
+    machine.run()
+    fires = machine.tracer.named("timer.fire")
+    assert len(fires) == 1
+    assert fires[0].args["lateness_ns"] > 0  # IRQ pipeline latency
+    assert fires[0].ts - fires[0].args["expiry"] == fires[0].args["lateness_ns"]
+
+
+def test_typed_emitters_record_payloads():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    class FakeCore:
+        index = 2
+
+    class FakeThread:
+        tid = 7
+        name = "fake"
+        core = FakeCore()
+
+    kt = FakeThread()
+    tracer.thread_dispatch(kt, wait_ns=123)
+    tracer.trylock(kt, "rxq0", acquired=False)
+    tracer.tx_flush(0, packets=32)
+    ev = tracer.events
+    assert ev[0].name == "thread.dispatch" and ev[0].args["wait_ns"] == 123
+    assert ev[1].name == "trylock.contended" and ev[1].tid == 7
+    assert ev[2].name == "tx.flush" and ev[2].args["packets"] == 32
+    assert tracer.named("tx.flush") == [ev[2]]
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    assert len(NULL_TRACER) == 0
+    # every typed emitter must exist and be a no-op
+    NULL_TRACER.thread_wake(None)
+    NULL_TRACER.timer_fire(0, 0, idle=True)
+    NULL_TRACER.sleep_enter(None, 0, "x")
+    NULL_TRACER.tx_flush(0, 0)
+    assert NULL_TRACER.events == []
+    assert NULL_TRACER.named("thread.wake") == []
+
+
+def test_machine_default_is_null_tracer():
+    machine = make_machine()
+    assert isinstance(machine.tracer, NullTracer)
+    tracer = machine.enable_tracing()
+    assert machine.tracer is tracer and tracer.enabled
+    # idempotent: re-enabling keeps the same tracer (and its events)
+    assert machine.enable_tracing() is tracer

@@ -4,7 +4,7 @@ from repro import config
 from repro.dpdk.app import CountingApp
 from repro.nic.device import NicPort
 from repro.nic.traffic import CbrProcess, RampProfile
-from repro.sim.units import MS, SEC, US
+from repro.sim.units import MS, SEC
 from repro.xdp.driver import XdpDriver
 
 from tests.conftest import make_machine
