@@ -283,6 +283,57 @@ def _quickstart(duration_scale: float, seed: int) -> str:
     )
 
 
+def _chaos_cmd(args) -> int:
+    """``repro chaos``: fault plans × seeds, invariant verdicts."""
+    import json
+
+    from repro.faults import SHIPPED_PLANS, FaultPlan, run_chaos
+
+    if args.list:
+        print("shipped fault plans:")
+        for name, plan in SHIPPED_PLANS.items():
+            print(f"  {name:15s} {plan.description}")
+        return 0
+    if args.plan_file:
+        with open(args.plan_file) as fh:
+            plans = [FaultPlan.from_dict(json.load(fh))]
+    elif args.plan == "all":
+        plans = list(SHIPPED_PLANS.values())
+    else:
+        if args.plan not in SHIPPED_PLANS:
+            print(f"unknown plan {args.plan!r}; try `repro chaos --list`")
+            return 2
+        plans = [SHIPPED_PLANS[args.plan]]
+
+    seeds = args.seed or [7, 42, config.DEFAULT_SEED]
+    rows = []
+    failures = 0
+    for plan in plans:
+        for seed in seeds:
+            r = run_chaos(plan, seed=seed, duration_ms=args.duration_ms)
+            verdict = "ok" if r.ok else "FAIL"
+            failures += 0 if r.ok else 1
+            rows.append((
+                plan.name, seed, verdict,
+                r.loss_fraction * 100,
+                r.max_head_age_ns / 1e3,
+                r.escalations,
+                r.recovery_ns / 1e3 if r.recovery_ns is not None else "-",
+                r.overload_entries,
+            ))
+            for v in r.violations:
+                rows.append((f"  ^ {v}", "", "", "", "", "", "", ""))
+    print(render_table(
+        f"chaos — {args.duration_ms} ms per run",
+        ["plan", "seed", "verdict", "loss %", "max age us",
+         "escalations", "recovery us", "overload"],
+        rows,
+    ))
+    if failures:
+        print(f"{failures} scenario(s) FAILED their invariants")
+    return 1 if failures else 0
+
+
 #: systems that can be run under the tracer (``repro trace <name>``)
 TRACEABLE = ("quickstart", "dpdk", "xdp")
 
@@ -371,6 +422,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="simulated duration before --fast scaling")
     tr.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
     tr.add_argument("--fast", action="store_true")
+    ch = sub.add_parser(
+        "chaos",
+        help="run fault-injection scenarios and check survival invariants")
+    ch.add_argument("plan", nargs="?", default="all",
+                    help="shipped plan name, or 'all' (default)")
+    ch.add_argument("--list", action="store_true",
+                    help="list the shipped fault plans")
+    ch.add_argument("--plan-file", default=None,
+                    help="JSON FaultPlan file (overrides the plan name)")
+    ch.add_argument("--seed", type=int, action="append", default=None,
+                    help="seed (repeatable; default 7, 42, 2020)")
+    ch.add_argument("--duration-ms", type=int, default=40)
     qs = [p for p in sub.choices.values()]
     for p in qs:
         if p.prog.endswith("quickstart"):
@@ -398,6 +461,8 @@ def main(argv: List[str] = None) -> int:
         return 1 if failures else 0
     if args.command == "trace":
         return _trace_cmd(args)
+    if args.command == "chaos":
+        return _chaos_cmd(args)
     if args.command == "quickstart":
         print(_quickstart(scale, seed))
         return 0

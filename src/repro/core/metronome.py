@@ -13,6 +13,18 @@ M threads share a set of Rx queues.  Each thread, in an infinite loop:
 The timeout values come from a tuner: fixed for the parameter-sweep
 experiments, or the adaptive eq.-12 controller targeting a constant
 vacation period V̄.
+
+Two robustness mechanisms ride on top of the paper's loop:
+
+* **rotating queue scan** — each thread starts its scan at
+  ``(thread_index + iteration) % num_queues`` instead of always at
+  queue 0, so no queue is structurally served last by every thread
+  (with a single queue the rotation is the identity);
+* an opt-in **starvation watchdog** (:class:`WatchdogConfig`): a
+  periodic check of head-of-line age and ring occupancy that, past its
+  bounds, early-wakes every sleeping thread in the group and clamps the
+  timeouts until the backlog clears — the graceful-degradation path
+  exercised by the fault-injection harness.
 """
 
 from __future__ import annotations
@@ -27,10 +39,35 @@ from repro.core.tuning import AdaptiveTuner, TunerBase
 from repro.dpdk.app import PacketApp
 from repro.kernel.machine import Machine
 from repro.kernel.sleep import SleepService
-from repro.kernel.thread import Compute, Exit, KThread
+from repro.kernel.thread import Compute, Exit, KThread, ThreadState
 from repro.metrics.latency import LatencyStats
 from repro.nic.rxqueue import RxQueue
 from repro.nic.txqueue import TxBuffer
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Bounds for the per-queue starvation watchdog.
+
+    Every ``period_ns`` the group checks each shared queue; if the
+    oldest sampled packet has waited longer than ``max_age_ns`` or the
+    ring holds more than ``max_occupancy`` descriptors, the watchdog
+    *escalates*: it wakes every sleeping thread of the group (spurious
+    wakes are safe — the scheduler records a pending wake) and clamps
+    both timeouts to ``clamp_ts_ns`` until a later check finds all
+    queues back inside bounds.
+    """
+
+    period_ns: int = 100_000
+    max_age_ns: int = 1_000_000
+    max_occupancy: int = 768
+    clamp_ts_ns: int = 2_000
+
+    def __post_init__(self):
+        if self.period_ns <= 0 or self.clamp_ts_ns <= 0:
+            raise ValueError("watchdog periods must be positive")
+        if self.max_age_ns <= 0 or self.max_occupancy <= 0:
+            raise ValueError("watchdog bounds must be positive")
 
 
 @dataclass
@@ -79,6 +116,8 @@ class MetronomeGroup:
         iterations: Optional[int] = None,
         flush_before_sleep: bool = False,
         name: str = "metronome",
+        rotate_scan: bool = True,
+        watchdog: Optional[WatchdogConfig] = None,
     ):
         if not queues:
             raise ValueError("at least one queue required")
@@ -109,6 +148,18 @@ class MetronomeGroup:
         self.service: SleepService = machine.sleep_service(sleep_service)
         self.threads: List[KThread] = []
         self.thread_stats: List[MetronomeThreadStats] = []
+        self.rotate_scan = rotate_scan
+        self.watchdog = watchdog
+        #: timeout clamp while the watchdog is escalated (None = off)
+        self._ts_clamp_ns: Optional[int] = None
+        self.watchdog_escalations = 0
+        self.watchdog_wakes = 0
+        #: worst head-of-line age the watchdog ever observed
+        self.watchdog_max_age_ns = 0
+        #: time the current escalation started (None when clear)
+        self._engaged_since: Optional[int] = None
+        #: time the last escalation cleared (chaos recovery metric)
+        self.watchdog_last_clear_ns: Optional[int] = None
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -128,6 +179,21 @@ class MetronomeGroup:
                 reg.unique_name(f"rxq{sq.queue.index}.drops"),
                 fn=lambda q=sq.queue: q.drops,
             )
+        if self.watchdog is not None:
+            reg.gauge(
+                f"{prefix}.watchdog.escalations",
+                fn=lambda: self.watchdog_escalations,
+            )
+            reg.gauge(
+                f"{prefix}.watchdog.wakes", fn=lambda: self.watchdog_wakes
+            )
+            reg.gauge(
+                f"{prefix}.watchdog.max_age_ns",
+                fn=lambda: self.watchdog_max_age_ns,
+            )
+            self._engaged_hist = reg.histogram(
+                f"{prefix}.watchdog.engaged_ns"
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -146,24 +212,90 @@ class MetronomeGroup:
                     fn=lambda s=stats, f=field_name: getattr(s, f),
                 )
             thread = self.machine.spawn(
-                lambda kt, s=stats: self._body(kt, s),
+                lambda kt, s=stats, idx=i: self._body(kt, s, idx),
                 name=stats.name,
                 nice=self.nice,
                 core=self.cores[i],
             )
             self.threads.append(thread)
+        if self.watchdog is not None:
+            self.machine.sim.call_after(
+                self.watchdog.period_ns, self._watchdog_check
+            )
         return self.threads
 
     # ------------------------------------------------------------------ #
+    # starvation watchdog (graceful degradation)
+    # ------------------------------------------------------------------ #
 
-    def _body(self, kt: KThread, stats: MetronomeThreadStats):
+    @property
+    def watchdog_engaged(self) -> bool:
+        return self._engaged_since is not None
+
+    def _watchdog_check(self) -> None:
+        wd = self.watchdog
+        if self.all_done():
+            if self._engaged_since is not None:
+                self._watchdog_clear()
+            return
+        sim = self.machine.sim
+        breached = None
+        for sq in self.shared:
+            age = sq.queue.head_age_ns()
+            if age > self.watchdog_max_age_ns:
+                self.watchdog_max_age_ns = age
+            if age > wd.max_age_ns or sq.queue.occupancy() > wd.max_occupancy:
+                if breached is None:
+                    breached = (sq.queue.index, age, sq.queue.occupancy())
+        if breached is not None:
+            self._watchdog_escalate(*breached)
+        elif self._engaged_since is not None:
+            self._watchdog_clear()
+        sim.call_after(wd.period_ns, self._watchdog_check)
+
+    def _watchdog_escalate(self, queue_index: int, age: int, occ: int) -> None:
+        self.watchdog_escalations += 1
+        if self._engaged_since is None:
+            self._engaged_since = self.machine.sim.now
+        self._ts_clamp_ns = self.watchdog.clamp_ts_ns
+        woken = 0
+        for t in self.threads:
+            if t.state is ThreadState.SLEEPING:
+                t.wake()
+                woken += 1
+        self.watchdog_wakes += woken
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.watchdog_escalate(queue_index, age, occ, woken)
+
+    def _watchdog_clear(self) -> None:
+        engaged_ns = self.machine.sim.now - self._engaged_since
+        self._engaged_since = None
+        self._ts_clamp_ns = None
+        self.watchdog_last_clear_ns = self.machine.sim.now
+        self._engaged_hist.observe(engaged_ns)
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.watchdog_clear(engaged_ns)
+
+    # ------------------------------------------------------------------ #
+
+    def _body(self, kt: KThread, stats: MetronomeThreadStats, idx: int = 0):
         sim = self.machine.sim
         service = self.service
         tracer = self.machine.tracer
+        nq = len(self.shared)
         while self.iterations is None or stats.iterations < self.iterations:
             stats.iterations += 1
             lock_taken = False
-            for sq in self.shared:
+            if self.rotate_scan:
+                # start the scan at a rotating offset so no queue is
+                # structurally the last one every thread reaches
+                off = (idx + stats.iterations) % nq
+                scan = [self.shared[(off + k) % nq] for k in range(nq)]
+            else:
+                scan = self.shared
+            for sq in scan:
                 yield Compute(config.TRYLOCK_NS)
                 if not sq.lock.try_acquire(kt):
                     stats.busy_tries += 1
@@ -212,6 +344,10 @@ class MetronomeGroup:
             else:
                 stats.backup_rounds += 1
                 timeout = self.tuner.tl_ns()
+            clamp = self._ts_clamp_ns
+            if clamp is not None:
+                # watchdog engaged: both roles wake at the clamped pace
+                timeout = min(timeout, clamp)
             yield from service.call(kt, timeout)
         yield Exit()
 

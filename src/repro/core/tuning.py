@@ -14,7 +14,7 @@ constant T_S (Figures 5, 7, 8).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.cycles import CycleRecord
 from repro.core.model import rho_from_periods, ts_for_target_vacation
@@ -57,7 +57,20 @@ class FixedTuner(TunerBase):
 
 
 class AdaptiveTuner(TunerBase):
-    """The paper's EWMA + eq. 12 controller targeting a constant V̄."""
+    """The paper's EWMA + eq. 12 controller targeting a constant V̄.
+
+    **Overload mode** (opt-in, for the graceful-degradation path): when
+    the load estimate stays at or above ``overload_enter`` for
+    ``overload_hold_cycles`` consecutive cycles — the controller's
+    equilibrium is gone, e.g. under an IRQ storm or an antagonist
+    stealing the cores — T_S collapses to ``overload_ts_ns`` so wakeups
+    come as fast as the sleep service allows and the backlog drains.
+    Recovery is hysteretic: overload only lifts once ρ falls back to
+    ``overload_exit``, well below the entry threshold, so the tuner
+    cannot flap at the boundary.  ``overload_enter=None`` (the default)
+    disables the mode entirely and the controller is byte-identical to
+    the pre-faults behaviour.
+    """
 
     def __init__(
         self,
@@ -67,6 +80,11 @@ class AdaptiveTuner(TunerBase):
         alpha: float = 0.125,
         initial_rho: float = 0.0,
         record_history: bool = False,
+        overload_enter: Optional[float] = None,
+        overload_exit: float = 0.85,
+        overload_hold_cycles: int = 8,
+        overload_ts_ns: Optional[int] = None,
+        on_overload: Optional[Callable[[bool, float], None]] = None,
     ):
         if vbar_ns <= 0 or tl_ns <= 0:
             raise ValueError("timeouts must be positive")
@@ -74,6 +92,15 @@ class AdaptiveTuner(TunerBase):
             raise ValueError("M must be >= 1")
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
+        if overload_enter is not None:
+            if not 0.0 < overload_enter <= 1.0:
+                raise ValueError("overload_enter must be in (0, 1]")
+            if not 0.0 < overload_exit < overload_enter:
+                raise ValueError(
+                    "overload_exit must be below overload_enter (hysteresis)"
+                )
+            if overload_hold_cycles < 1:
+                raise ValueError("overload_hold_cycles must be >= 1")
         self.vbar_ns = vbar_ns
         self._tl = tl_ns
         self.m = m
@@ -83,6 +110,17 @@ class AdaptiveTuner(TunerBase):
         self.history: Optional[List[Tuple[int, float, int]]] = (
             [] if record_history else None
         )
+        self.overload_enter = overload_enter
+        self.overload_exit = overload_exit
+        self.overload_hold_cycles = overload_hold_cycles
+        self.overload_ts_ns = (
+            overload_ts_ns if overload_ts_ns is not None
+            else max(1_000, vbar_ns // 4)
+        )
+        self.on_overload = on_overload
+        self.in_overload = False
+        self.overload_entries = 0
+        self._consec_high = 0
 
     @property
     def rho(self) -> float:
@@ -92,10 +130,31 @@ class AdaptiveTuner(TunerBase):
         sample = rho_from_periods(record.busy_ns, record.vacation_ns)
         self._rho = (1.0 - self.alpha) * self._rho + self.alpha * sample
         self.cycles_observed += 1
+        if self.overload_enter is not None:
+            self._update_overload()
         if self.history is not None:
             self.history.append((record.start_ns, self._rho, self.ts_ns()))
 
+    def _update_overload(self) -> None:
+        if not self.in_overload:
+            if self._rho >= self.overload_enter:
+                self._consec_high += 1
+                if self._consec_high >= self.overload_hold_cycles:
+                    self.in_overload = True
+                    self.overload_entries += 1
+                    if self.on_overload is not None:
+                        self.on_overload(True, self._rho)
+            else:
+                self._consec_high = 0
+        elif self._rho <= self.overload_exit:
+            self.in_overload = False
+            self._consec_high = 0
+            if self.on_overload is not None:
+                self.on_overload(False, self._rho)
+
     def ts_ns(self) -> int:
+        if self.in_overload:
+            return min(self.overload_ts_ns, self._tl)
         ts = ts_for_target_vacation(self.vbar_ns, self.m, self._rho)
         # never sleep longer than the backup timeout
         return min(int(ts), self._tl)

@@ -107,10 +107,10 @@ class PollModeLcore:
                     granted = self.mbuf_pool.take(n)
                     if granted < n:
                         self.mbuf_drops += n - granted
-                        # the popped range is [head-n, head): keep the
-                        # first `granted` packets of it
+                        # the popped range is [head-n, head) in ring-seq
+                        # space: keep the first `granted` packets of it
                         keep_below = queue.ring.head_seq - n + granted
-                        tagged = [p for p in tagged if p.seq < keep_below]
+                        tagged = [p for p in tagged if p.ring_seq < keep_below]
                         n = granted
                         if n == 0:
                             yield Compute(config.RX_POLL_EMPTY_NS)

@@ -1,0 +1,34 @@
+"""Fault injection and chaos testing for the Metronome testbed.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultSpec` /
+  :class:`FaultPlan` schedules (what goes wrong, when, how hard) plus
+  the shipped adversarial scenarios (:data:`SHIPPED_PLANS`);
+* :mod:`repro.faults.engine` / :mod:`repro.faults.injectors` — the
+  :class:`FaultEngine` installed on a machine via
+  ``machine.install_faults(plan)``, which arms one injector per spec and
+  answers the kernel model's fault hooks;
+* :mod:`repro.faults.chaos` — the chaos harness: run a Metronome
+  deployment under a plan with the graceful-degradation path enabled
+  (starvation watchdog + tuner overload mode) and check the recovery /
+  bounded-loss / no-starvation invariants.
+
+Determinism: every injector draws exclusively from dedicated
+``faults.<kind>`` RNG streams, so a machine with no engine — or an
+engine holding an empty plan — is byte-identical to a pre-faults build
+(common-random-numbers discipline; see DESIGN.md).
+"""
+
+from repro.faults.chaos import ChaosResult, run_chaos
+from repro.faults.engine import FaultEngine
+from repro.faults.plan import SHIPPED_PLANS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "SHIPPED_PLANS",
+    "FaultEngine",
+    "ChaosResult",
+    "run_chaos",
+]

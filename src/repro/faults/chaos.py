@@ -1,0 +1,152 @@
+"""The chaos harness: run Metronome under a fault plan, check survival.
+
+:func:`run_chaos` builds the standard adversarial deployment — a CBR
+source, the fault engine armed with the plan, the starvation watchdog,
+and an :class:`~repro.core.tuning.AdaptiveTuner` with overload mode —
+runs it, and evaluates the plan's three invariants:
+
+* **bounded loss** — end-to-end loss stays under the plan's ceiling;
+* **no starvation** — no queue's head-of-line age ever exceeds the
+  plan's starvation bound (as sampled by the watchdog);
+* **recovery** — once the last fault window closes, the watchdog
+  disengages within the plan's recovery bound and is clear at run end.
+
+Everything is deterministic per ``(plan, seed)``: injectors draw only
+from their ``faults.*`` streams, so re-running a scenario reproduces the
+exact same episode timeline and verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro import config
+from repro.core.metronome import WatchdogConfig
+from repro.core.tuning import AdaptiveTuner
+from repro.faults.plan import FaultPlan
+from repro.sim.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a cycle with the harness
+    from repro.harness.experiment import MetronomeRunResult
+
+
+@dataclass
+class ChaosResult:
+    """Verdict of one chaos run (see module docstring for invariants)."""
+
+    plan_name: str
+    seed: int
+    duration_ns: int
+    offered: int
+    delivered: int
+    drops: int
+    loss_fraction: float
+    #: worst head-of-line age the watchdog observed (ns)
+    max_head_age_ns: int
+    #: watchdog escalations / early wakes issued
+    escalations: int
+    watchdog_wakes: int
+    #: ns between the last fault window closing and the watchdog
+    #: clearing; 0 if it never engaged (or cleared before the window
+    #: closed), None if it was still engaged when the run ended
+    recovery_ns: Optional[int]
+    #: times the tuner entered overload mode
+    overload_entries: int
+    #: injector activity per kind: {kind: (episodes, events)}
+    fault_activity: Dict[str, tuple]
+    #: human-readable invariant violations (empty → scenario survived)
+    violations: List[str] = field(default_factory=list)
+    result: Optional["MetronomeRunResult"] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_chaos(
+    plan: FaultPlan,
+    seed: int = config.DEFAULT_SEED,
+    duration_ms: int = 40,
+    rate_pps: int = 2_000_000,
+    num_threads: int = 2,
+    trace: bool = False,
+    watchdog: Optional[WatchdogConfig] = None,
+    keep_result: bool = False,
+) -> ChaosResult:
+    """Run one adversarial scenario and evaluate its invariants."""
+    # imported here, not at module top: the harness itself imports
+    # repro.faults.plan, so a top-level import would be circular
+    from repro.harness.experiment import run_metronome
+
+    cfg = config.SimConfig(seed=seed)
+    watchdog = watchdog or WatchdogConfig()
+    tuner = AdaptiveTuner(
+        vbar_ns=cfg.vbar_ns,
+        tl_ns=cfg.tl_ns,
+        m=num_threads,
+        alpha=cfg.alpha,
+        initial_rho=0.5,
+        overload_enter=0.95,
+    )
+    result = run_metronome(
+        rate_pps,
+        duration_ms=duration_ms,
+        cfg=cfg,
+        tuner=tuner,
+        num_threads=num_threads,
+        cores=list(range(num_threads)),
+        trace=trace,
+        fault_plan=plan,
+        watchdog=watchdog,
+    )
+    group = result.group
+    machine = result.machine
+    engine = machine.faults
+
+    violations: List[str] = []
+    loss = result.loss_fraction
+    if loss > plan.loss_ceiling:
+        violations.append(
+            f"loss {loss:.4f} exceeds ceiling {plan.loss_ceiling:.4f}"
+        )
+    max_age = group.watchdog_max_age_ns
+    if max_age > plan.starvation_bound_ns:
+        violations.append(
+            f"head-of-line age {max_age / MS:.2f} ms exceeds starvation "
+            f"bound {plan.starvation_bound_ns / MS:.2f} ms"
+        )
+    last_end = plan.last_fault_end_ns()
+    recovery_ns: Optional[int] = 0
+    if group.watchdog_engaged:
+        recovery_ns = None
+        violations.append("watchdog still engaged at run end")
+    elif group.watchdog_last_clear_ns is not None:
+        recovery_ns = max(0, group.watchdog_last_clear_ns - last_end)
+        if recovery_ns > plan.recovery_bound_ns:
+            violations.append(
+                f"watchdog cleared {recovery_ns / MS:.2f} ms after the last "
+                f"fault window, bound {plan.recovery_bound_ns / MS:.2f} ms"
+            )
+
+    activity = {
+        kind: (engine.episodes(kind), engine.events(kind))
+        for kind in plan.kinds()
+    }
+    return ChaosResult(
+        plan_name=plan.name,
+        seed=seed,
+        duration_ns=result.duration_ns,
+        offered=result.offered,
+        delivered=result.delivered,
+        drops=result.drops,
+        loss_fraction=loss,
+        max_head_age_ns=max_age,
+        escalations=group.watchdog_escalations,
+        watchdog_wakes=group.watchdog_wakes,
+        recovery_ns=recovery_ns,
+        overload_entries=tuner.overload_entries,
+        fault_activity=activity,
+        violations=violations,
+        result=result if keep_result else None,
+    )

@@ -1,0 +1,277 @@
+"""One injector class per fault kind.
+
+Each injector owns a single :class:`~repro.faults.plan.FaultSpec` and is
+armed by the :class:`~repro.faults.engine.FaultEngine`: begin/end
+callbacks are scheduled at the spec's window edges, the injector flips
+``active`` and runs its kind-specific machinery in between.
+
+Two families:
+
+* **hook injectors** (timer_miss, lost_wakeup, clock_drift) are passive:
+  the kernel model consults them through the engine's hook API on every
+  timer fire / wakeup / sleep arming;
+* **event injectors** (irq_storm, core_stall, antagonist, microburst,
+  pause) schedule their own simulator events — IRQ bursts, SMI stalls,
+  hog threads, traffic edges.
+
+All randomness comes from the engine's per-kind ``faults.<kind>``
+streams, never from any other subsystem's stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.faults.plan import FaultSpec
+from repro.kernel.thread import Compute, Exit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.engine import FaultEngine
+
+
+class Injector:
+    """Base: window arming, core targeting, begin/end tracing."""
+
+    kind = "?"
+
+    def __init__(self, engine: "FaultEngine", spec: FaultSpec):
+        self.engine = engine
+        self.spec = spec
+        self.machine = engine.machine
+        self.sim = engine.machine.sim
+        self.rng = engine.stream(self.kind)
+        self.active = False
+
+    def start(self) -> None:
+        self.sim.call_at(self.spec.start_ns, self._begin)
+        self.sim.call_at(self.spec.end_ns, self._end)
+
+    # -- window edges ---------------------------------------------------- #
+
+    def _begin(self) -> None:
+        self.active = True
+        self.engine.note_episode(self.kind)
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.fault_begin(self.kind, magnitude=self.spec.magnitude)
+        self.on_begin()
+
+    def _end(self) -> None:
+        self.active = False
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.fault_end(self.kind)
+        self.on_end()
+
+    def on_begin(self) -> None:
+        """Kind-specific window-open behaviour."""
+
+    def on_end(self) -> None:
+        """Kind-specific window-close behaviour."""
+
+    # -- targeting ------------------------------------------------------- #
+
+    def target_cores(self) -> List[int]:
+        """Core indexes this spec applies to (empty spec → all cores)."""
+        if self.spec.cores:
+            return list(self.spec.cores)
+        return list(range(len(self.machine.cores)))
+
+    def matches_core(self, core_index: int) -> bool:
+        return not self.spec.cores or core_index in self.spec.cores
+
+
+# --------------------------------------------------------------------- #
+# hook injectors
+# --------------------------------------------------------------------- #
+
+
+class TimerMissInjector(Injector):
+    """Late delivery of hrtimer interrupts (hrtimer-miss / IRQ storm)."""
+
+    kind = "timer_miss"
+
+    def extra_latency_ns(self, core_index: int) -> int:
+        if not self.active or not self.matches_core(core_index):
+            return 0
+        if self.rng.random() >= self.spec.probability:
+            return 0
+        extra = int(self.spec.magnitude * self.rng.uniform(0.5, 1.5))
+        if extra > 0:
+            self.engine.note_event(self.kind, core=core_index, extra=extra)
+        return extra
+
+
+class LostWakeupInjector(Injector):
+    """Timer callbacks silently dropped (the lost-wakeup race)."""
+
+    kind = "lost_wakeup"
+
+    def drop(self, core_index: int) -> bool:
+        if not self.active or not self.matches_core(core_index):
+            return False
+        if self.rng.random() >= self.spec.probability:
+            return False
+        self.engine.note_event(self.kind, core=core_index)
+        return True
+
+
+class ClockDriftInjector(Injector):
+    """The sleep timebase runs slow by a fixed fraction (no RNG)."""
+
+    kind = "clock_drift"
+
+    def skew_ns(self, duration_ns: int) -> int:
+        if not self.active:
+            return 0
+        skew = int(duration_ns * self.spec.magnitude)
+        if skew > 0:
+            self.engine.note_event(self.kind, skew=skew)
+        return skew
+
+
+# --------------------------------------------------------------------- #
+# event injectors
+# --------------------------------------------------------------------- #
+
+
+class IrqStormInjector(Injector):
+    """Repeating IRQ bursts stealing CPU from the targeted cores."""
+
+    kind = "irq_storm"
+
+    def on_begin(self) -> None:
+        self._tick()
+
+    def _tick(self) -> None:
+        if not self.active:
+            return
+        spec = self.spec
+        burst = spec.duration_ns or int(spec.period_ns * spec.magnitude)
+        for idx in self.target_cores():
+            # ±10% jitter so the storm does not phase-lock with timers
+            stolen = max(1, int(burst * self.rng.uniform(0.9, 1.1)))
+            self.machine.cores[idx].inject_irq_time(stolen)
+            self.engine.note_event(self.kind, core=idx, stolen=stolen)
+        self.sim.call_after(spec.period_ns, self._tick)
+
+
+class CoreStallInjector(Injector):
+    """SMI-style freezes: the core executes nothing for the stall."""
+
+    kind = "core_stall"
+
+    def on_begin(self) -> None:
+        self._stall()
+
+    def _stall(self) -> None:
+        if not self.active:
+            return
+        for idx in self.target_cores():
+            self.machine.cores[idx].smi_stall(self.spec.duration_ns)
+            self.engine.note_event(
+                self.kind, core=idx, stall=self.spec.duration_ns
+            )
+        if self.spec.period_ns > 0:
+            self.sim.call_after(self.spec.period_ns, self._stall)
+
+
+class AntagonistInjector(Injector):
+    """Best-effort CPU hogs competing with Metronome for the cores."""
+
+    kind = "antagonist"
+
+    #: each hog computes in ~50 us chunks, like a batch job between
+    #: involuntary context switches
+    CHUNK_NS = 50_000
+
+    def on_begin(self) -> None:
+        for idx in self.target_cores():
+            self.machine.spawn(
+                self._hog_body(),
+                name=f"antagonist-{idx}",
+                core=idx,
+            )
+            self.engine.note_event(self.kind, core=idx)
+
+    def _hog_body(self):
+        while self.active:
+            yield Compute(
+                max(1, int(self.CHUNK_NS * self.rng.uniform(0.9, 1.1)))
+            )
+        yield Exit()
+
+
+class _TrafficInjector(Injector):
+    """Shared machinery for microburst/pause: the window is either one
+    long episode or chopped into ``duration_ns``-long episodes every
+    ``period_ns``."""
+
+    def on_begin(self) -> None:
+        if self.spec.period_ns > 0 and self.spec.duration_ns > 0:
+            self._episode_on()
+        else:
+            self._apply(True)
+
+    def on_end(self) -> None:
+        self._apply(False)
+
+    def _episode_on(self) -> None:
+        if not self.active:
+            return
+        self._apply(True)
+        self.sim.call_after(self.spec.duration_ns, self._episode_off)
+
+    def _episode_off(self) -> None:
+        self._apply(False)
+        if self.active:
+            gap = self.spec.period_ns - self.spec.duration_ns
+            self.sim.call_after(max(1, gap), self._episode_on)
+
+    def _apply(self, on: bool) -> None:
+        raise NotImplementedError
+
+
+class MicroburstInjector(_TrafficInjector):
+    """A CBR overlay of ``magnitude`` pps on the registered traffic."""
+
+    kind = "microburst"
+
+    def _apply(self, on: bool) -> None:
+        rate = int(self.spec.magnitude) if on else 0
+        now = self.sim.now
+        for fp in self.engine.processes:
+            fp.checkpoint(now)
+            fp.set_burst(rate)
+        if on:
+            self.engine.note_event(self.kind, rate=rate)
+
+
+class PauseInjector(_TrafficInjector):
+    """NIC flow-control pause: hold arrivals, release in one slug."""
+
+    kind = "pause"
+
+    def _apply(self, on: bool) -> None:
+        now = self.sim.now
+        for fp in self.engine.processes:
+            fp.checkpoint(now)
+            fp.set_paused(on)
+        if on:
+            self.engine.note_event(self.kind)
+
+
+#: kind → injector class
+INJECTOR_CLASSES = {
+    cls.kind: cls
+    for cls in (
+        TimerMissInjector,
+        LostWakeupInjector,
+        ClockDriftInjector,
+        IrqStormInjector,
+        CoreStallInjector,
+        AntagonistInjector,
+        MicroburstInjector,
+        PauseInjector,
+    )
+}

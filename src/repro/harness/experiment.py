@@ -13,16 +13,17 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro import config
-from repro.core.metronome import MetronomeGroup
+from repro.core.metronome import MetronomeGroup, WatchdogConfig
 from repro.core.tuning import AdaptiveTuner, TunerBase
 from repro.dpdk.app import PacketApp
 from repro.dpdk.lcore import PollModeLcore
+from repro.faults.plan import TRAFFIC_KINDS, FaultPlan
 from repro.kernel.machine import Machine
 from repro.metrics.latency import LatencyStats
 from repro.nic.device import NicPort
 from repro.nic.flows import FlowSet
 from repro.nic.rxqueue import RxQueue
-from repro.nic.traffic import ArrivalProcess, CbrProcess
+from repro.nic.traffic import ArrivalProcess, CbrProcess, FaultableProcess
 from repro.sim.units import MS, SEC, US
 
 
@@ -122,6 +123,9 @@ def run_metronome(
     setup_hook: Optional[Callable[[Machine, MetronomeGroup], None]] = None,
     warmup_ms: int = 0,
     trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    rotate_scan: bool = True,
 ) -> MetronomeRunResult:
     """Run Metronome over one shared Rx queue.
 
@@ -130,12 +134,23 @@ def run_metronome(
     (e.g. to add interference workloads or samplers).  ``trace=True``
     enables nanosecond event tracing (see :mod:`repro.trace`) without
     perturbing the run; read it back via ``result.tracer``.
+
+    ``fault_plan`` installs a :class:`~repro.faults.FaultEngine` before
+    the workload is built (traffic-side faults wrap the arrival process
+    in a :class:`~repro.nic.traffic.FaultableProcess`); ``watchdog``
+    enables the group's starvation watchdog — together they form the
+    chaos harness's adversarial setup (see :mod:`repro.faults.chaos`).
     """
     cfg = cfg or config.SimConfig()
     machine = Machine(cfg)
     if trace:
         machine.enable_tracing()
     process = rate if isinstance(rate, ArrivalProcess) else CbrProcess(int(rate))
+    if fault_plan is not None:
+        engine = machine.install_faults(fault_plan)
+        if any(s.kind in TRAFFIC_KINDS for s in fault_plan.specs):
+            process = FaultableProcess(process)
+            engine.register_process(process)
     queue = _make_queue(
         machine,
         process,
@@ -160,6 +175,8 @@ def run_metronome(
         nice=nice,
         tx_batch=tx_batch,
         flush_before_sleep=flush_before_sleep,
+        rotate_scan=rotate_scan,
+        watchdog=watchdog,
     )
     group.start()
     if setup_hook is not None:

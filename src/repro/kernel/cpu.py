@@ -53,6 +53,10 @@ class Core:
         # pending IRQ time to splice into the running thread's timeline
         self.irq_backlog = 0
 
+        # fault-injection accounting (repro.faults): SMI-style freezes
+        self.smi_stalls = 0
+        self.smi_stall_ns = 0
+
     # ------------------------------------------------------------------ #
     # work/wall conversion
     # ------------------------------------------------------------------ #
@@ -155,6 +159,18 @@ class Core:
         """
         self.irq_ns += duration_ns
         self.machine.scheduler.on_irq_injected(self, duration_ns)
+
+    def smi_stall(self, duration_ns: int) -> None:
+        """Freeze the core for ``duration_ns`` (SMI / machine-check /
+        page-fault-storm style stall, used by the fault injectors).
+
+        Mechanically an uninterruptible stolen-time window — the same
+        splice as :meth:`inject_irq_time` — but accounted separately so
+        chaos reports can attribute it.
+        """
+        self.smi_stalls += 1
+        self.smi_stall_ns += duration_ns
+        self.inject_irq_time(duration_ns)
 
     # ------------------------------------------------------------------ #
 

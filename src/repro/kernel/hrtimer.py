@@ -26,7 +26,8 @@ from repro.kernel.cpu import Core
 class HrTimer:
     """One armed high-resolution timer."""
 
-    __slots__ = ("queue", "expiry", "callback", "_handle", "cancelled", "fired")
+    __slots__ = ("queue", "expiry", "callback", "_handle", "cancelled",
+                 "fired", "fault_deferred")
 
     def __init__(self, queue: "HrTimerQueue", expiry: int, callback: Callable[[], None]):
         self.queue = queue
@@ -34,6 +35,9 @@ class HrTimer:
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        #: set once a fault injector already stretched this fire, so one
+        #: timer pays the miss penalty at most once
+        self.fault_deferred = False
         self._handle = None
 
     def cancel(self) -> None:
@@ -87,9 +91,19 @@ class HrTimerQueue:
     # ------------------------------------------------------------------ #
 
     def _fire(self, timer: HrTimer) -> None:
-        self._armed.pop(id(timer), None)
         if timer.cancelled:
+            self._armed.pop(id(timer), None)
             return
+        faults = self.machine.faults
+        if faults is not None and not timer.fault_deferred:
+            # hrtimer-miss / IRQ-storm fault: the hardware interrupt is
+            # delivered late (the timer stays armed and cancellable)
+            extra = faults.timer_extra_latency_ns(self.core.index)
+            if extra > 0:
+                timer.fault_deferred = True
+                self.sim.call_after(extra, self._fire, timer)
+                return
+        self._armed.pop(id(timer), None)
         timer.fired = True
         self.fired_count += 1
         core = self.core
@@ -111,9 +125,19 @@ class HrTimerQueue:
             self.sim.call_at(end, self._run_callback_idle, timer)
 
     def _run_callback(self, timer: HrTimer) -> None:
+        if self._wakeup_lost():
+            return
         timer.callback()
 
     def _run_callback_idle(self, timer: HrTimer) -> None:
-        timer.callback()
+        if not self._wakeup_lost():
+            timer.callback()
         # if the callback did not make anything runnable, drop back to idle
         self.machine.scheduler.settle_idle(self.core)
+
+    def _wakeup_lost(self) -> bool:
+        """Lost-wakeup fault: the interrupt ran but the expiry callback
+        (the sleeping thread's wake) is dropped, modelling the wakeup
+        races the paper's backup-timeout design guards against."""
+        faults = self.machine.faults
+        return faults is not None and faults.drop_wakeup(self.core.index)

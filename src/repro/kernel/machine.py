@@ -59,6 +59,11 @@ class Machine:
         if self.cfg.os_noise:
             self.noise = OsNoise(self)
             self.noise.start()
+        #: fault-injection engine (``repro.faults``); None means every
+        #: fault hook in the kernel model is dormant — no RNG stream is
+        #: touched and no simulator event is added, so runs without an
+        #: engine are byte-identical to pre-faults builds
+        self.faults = None
         self.threads: List[KThread] = []
 
     # ------------------------------------------------------------------ #
@@ -103,6 +108,23 @@ class Machine:
         if not isinstance(self.tracer, Tracer):
             self.tracer = Tracer(self.sim)
         return self.tracer
+
+    def install_faults(self, plan):
+        """Install a :class:`repro.faults.FaultEngine` for ``plan``.
+
+        Call before building workloads and before :meth:`run` so every
+        episode in the plan can be armed.  Returns the engine (also
+        available as :attr:`faults`).  Injector randomness comes from
+        dedicated ``faults.*`` streams, so installing a plan never
+        perturbs the draws of any other subsystem.
+        """
+        from repro.faults.engine import FaultEngine
+
+        if self.faults is not None:
+            raise RuntimeError("a fault plan is already installed")
+        self.faults = FaultEngine(self, plan)
+        self.faults.start()
+        return self.faults
 
     # ------------------------------------------------------------------ #
     # running

@@ -101,6 +101,11 @@ class SleepService:
         yield Compute(half_entry + self._jitter(self.preamble_ns()))
         now = self.machine.sim.now
         expiry = self.expiry_for(now, duration_ns)
+        faults = self.machine.faults
+        if faults is not None:
+            # clock-drift fault: the timebase the expiry is programmed
+            # against runs slow, so the sleep systematically overshoots
+            expiry += faults.sleep_skew_ns(duration_ns)
         if expiry <= now:
             # sub-granularity request: return immediately (the paper's
             # §5.4 patch makes hr_sleep return for sub-us requests)

@@ -32,16 +32,21 @@ class PacketHeader:
 class TaggedPacket:
     """A sampled packet carrying a MoonGen-style timestamp.
 
-    ``seq`` is the global arrival sequence number on its queue;
-    ``arrival_ns`` the (interpolated) wire arrival time.  Applications
-    set ``tx_ns`` when the packet leaves through the Tx buffer, defining
-    the measured latency.
+    ``seq`` is the global arrival sequence number on its queue (drops
+    included); ``ring_seq`` its position in the ring's accepted-packet
+    sequence space, which is what retrieval order follows once any
+    packet has been tail-dropped.  ``arrival_ns`` is the (interpolated)
+    wire arrival time.  Applications set ``tx_ns`` when the packet
+    leaves through the Tx buffer, defining the measured latency.
     """
 
-    __slots__ = ("seq", "arrival_ns", "header", "retrieved_ns", "tx_ns")
+    __slots__ = ("seq", "ring_seq", "arrival_ns", "header", "retrieved_ns",
+                 "tx_ns")
 
-    def __init__(self, seq: int, arrival_ns: int, header: PacketHeader):
+    def __init__(self, seq: int, arrival_ns: int, header: PacketHeader,
+                 ring_seq: int = -1):
         self.seq = seq
+        self.ring_seq = ring_seq if ring_seq >= 0 else seq
         self.arrival_ns = arrival_ns
         self.header = header
         #: when rx_burst popped the packet's descriptor (latency breakdown)

@@ -76,13 +76,20 @@ class RxQueue:
         if seq >= end_seq:
             return
         span = t1 - t0
+        # ring seq of the first packet accepted in this interval: the
+        # ring counts accepted packets only, so after any tail-drop the
+        # arrival and ring sequence spaces diverge permanently
+        first_ring_seq = self.ring.tail_seq - accepted
         while seq < end_seq:
             offset = seq - first_seq
             if offset < accepted:
                 # +1: arrivals are in (t0, t1]; position idx of n arrivals
                 ts = t0 + span * (offset + 1) // n
                 header = self.flows.header_for(seq)
-                self._tagged.append(TaggedPacket(seq, ts, header))
+                self._tagged.append(
+                    TaggedPacket(seq, ts, header,
+                                 ring_seq=first_ring_seq + offset)
+                )
             else:
                 self.tagged_drops += 1
             seq += k
@@ -99,7 +106,7 @@ class RxQueue:
         tagged: List[TaggedPacket] = []
         dq = self._tagged
         now = self.sim.now
-        while dq and dq[0].seq < head:
+        while dq and dq[0].ring_seq < head:
             pkt = dq.popleft()
             pkt.retrieved_ns = now
             tagged.append(pkt)
@@ -109,6 +116,20 @@ class RxQueue:
         """Ring occupancy after materializing pending arrivals."""
         self.sync()
         return self.ring.occupancy
+
+    def head_age_ns(self) -> int:
+        """Age of the oldest *sampled* packet still waiting in the ring.
+
+        The starvation watchdog's head-of-line measure: how long the
+        queue has gone unserved while holding traffic.  Resolution is
+        the tagging stride (``sample_every`` packets), so at low rates
+        the estimate lags true head age by up to one stride's
+        inter-arrival time; 0 when no sampled packet is waiting.
+        """
+        self.sync()
+        if not self._tagged:
+            return 0
+        return max(0, self.sim.now - self._tagged[0].arrival_ns)
 
     @property
     def drops(self) -> int:

@@ -384,6 +384,94 @@ class OnOffProcess(ArrivalProcess):
         return float(self._rate_at(t))
 
 
+class FaultableProcess(ArrivalProcess):
+    """A transparent wrapper that lets fault injectors perturb the wire.
+
+    Two perturbations, both controlled by explicit edge calls (the
+    injectors own the randomness; this class is deterministic):
+
+    * **microburst overlay** — ``set_burst(rate_pps)`` superimposes a
+      CBR stream on top of the inner process (0 switches it off);
+    * **pause episode** — ``set_paused(True)`` models NIC flow-control /
+      PCIe back-pressure: arrivals counted while paused are *held* and
+      delivered in one slug when the pause lifts, which is exactly the
+      post-pause burst real pause frames produce.
+
+    ``checkpoint(now)`` must be called at every rate edge so the overlay
+    accumulator integrates each segment at the rate actually in force.
+    With no edges ever applied the wrapper is an identity: every count
+    delegates to the inner process.
+    """
+
+    def __init__(self, inner: ArrivalProcess):
+        self.inner = inner
+        self.last_t = inner.last_t
+        self.total = 0
+        self._paused = False
+        self._held = 0
+        self._burst_rate = 0
+        self._overlay_t = inner.last_t
+        self._overlay_acc = 0      # pps·ns fractional accumulator
+        self._overlay_total = 0
+        #: episode statistics for chaos reports
+        self.burst_packets = 0
+        self.held_peak = 0
+
+    # -- injector edge calls -------------------------------------------- #
+
+    def checkpoint(self, now: int) -> None:
+        """Integrate the overlay up to ``now`` at the current rate."""
+        if now > self._overlay_t:
+            self._overlay_acc += (now - self._overlay_t) * self._burst_rate
+            self._overlay_t = now
+
+    def set_burst(self, rate_pps: int) -> None:
+        if rate_pps < 0:
+            raise ValueError("negative burst rate")
+        self._burst_rate = rate_pps
+
+    def set_paused(self, paused: bool) -> None:
+        self._paused = paused
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    # -- ArrivalProcess -------------------------------------------------- #
+
+    def advance(self, t1: int) -> int:
+        if t1 < self.last_t:
+            raise ValueError(f"advance moving backwards: {t1} < {self.last_t}")
+        n = self.inner.advance(t1)
+        self.checkpoint(t1)
+        overlay_now = self._overlay_acc // SEC
+        extra = overlay_now - self._overlay_total
+        self._overlay_total = overlay_now
+        self.burst_packets += extra
+        n += extra
+        if self._paused:
+            self._held += n
+            self.held_peak = max(self.held_peak, self._held)
+            n = 0
+        else:
+            n += self._held
+            self._held = 0
+        self.total += n
+        self.last_t = t1
+        return n
+
+    def next_arrival_after(self, t: int) -> Optional[int]:
+        """Delegates to the inner process (overlay/pause ignored): the
+        polling-driver fast-forward only needs a lower bound, and a
+        pause can only move the first visible arrival later."""
+        return self.inner.next_arrival_after(t)
+
+    def rate_at(self, t: int) -> float:
+        if self._paused:
+            return 0.0
+        return self.inner.rate_at(t) + float(self._burst_rate)
+
+
 def triangle_ramp(
     duration_ns: int,
     peak_pps: int,

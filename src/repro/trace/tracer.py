@@ -178,6 +178,41 @@ class Tracer:
     def tx_flush(self, queue_index: int, packets: int) -> None:
         self.emit("tx.flush", queue=queue_index, packets=packets)
 
+    # ------------------------------------------------------------------ #
+    # typed emitters — fault injection / graceful degradation
+    # ------------------------------------------------------------------ #
+
+    def fault_begin(self, kind: str, core: Optional[int] = None,
+                    **args: Any) -> None:
+        """A fault episode opened (``fault.<kind>`` span begin)."""
+        self.emit(f"fault.{kind}", phase="B", core=core, **args)
+
+    def fault_end(self, kind: str, core: Optional[int] = None,
+                  **args: Any) -> None:
+        """The fault episode closed."""
+        self.emit(f"fault.{kind}", phase="E", core=core, **args)
+
+    def fault_event(self, kind: str, core: Optional[int] = None,
+                    **args: Any) -> None:
+        """One discrete injected fault (a dropped wakeup, a stretched
+        timer fire, one SMI stall)."""
+        self.emit(f"fault.{kind}.hit", core=core, **args)
+
+    def watchdog_escalate(self, queue_index: int, age_ns: int,
+                          occupancy: int, woken: int) -> None:
+        """The starvation watchdog tripped on a queue and early-woke
+        ``woken`` sleeping threads."""
+        self.emit("watchdog.escalate", queue=queue_index, age_ns=age_ns,
+                  occupancy=occupancy, woken=woken)
+
+    def watchdog_clear(self, engaged_ns: int) -> None:
+        """All queues back under their bounds; escalation lifted."""
+        self.emit("watchdog.clear", engaged_ns=engaged_ns)
+
+    def tuner_overload(self, entered: bool, rho: float) -> None:
+        """The adaptive tuner crossed its overload hysteresis boundary."""
+        self.emit("tuner.overload", entered=entered, rho=rho)
+
 
 def _noop(self, *args: Any, **kwargs: Any) -> None:
     return None

@@ -1,0 +1,199 @@
+"""Per-injector behaviour on small deterministic machines."""
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.kernel.thread import Exit
+from repro.nic.traffic import CbrProcess, FaultableProcess
+from repro.sim.units import MS, US
+
+from tests.conftest import make_machine
+
+
+def plan_of(*specs, name="t"):
+    return FaultPlan(name=name, specs=tuple(specs))
+
+
+def sleep_samples(machine, n=50, target_us=20):
+    out = []
+
+    def body(kt):
+        service = machine.sleep_service("hr_sleep")
+        for _ in range(n):
+            t0 = machine.sim.now
+            yield from service.call(kt, target_us * US)
+            out.append(machine.sim.now - t0)
+        yield Exit()
+
+    machine.spawn(body, name="sleeper", core=0)
+    machine.run()
+    return out
+
+
+# --------------------------------------------------------------------- #
+# hook injectors
+# --------------------------------------------------------------------- #
+
+
+def test_timer_miss_stretches_sleeps():
+    clean = make_machine(num_cores=2)
+    baseline = sleep_samples(clean)
+
+    faulty = make_machine(num_cores=2)
+    faulty.install_faults(plan_of(FaultSpec(
+        kind="timer_miss", start_ns=0, end_ns=100 * MS,
+        magnitude=100 * US,
+    )))
+    stretched = sleep_samples(faulty)
+    # every fire pays 100us x U(0.5,1.5): means must separate clearly
+    assert sum(stretched) / len(stretched) > sum(baseline) / len(baseline) + 50 * US
+    assert faulty.faults.events("timer_miss") > 0
+
+
+def test_timer_miss_respects_probability_zero():
+    m = make_machine(num_cores=2)
+    m.install_faults(plan_of(FaultSpec(
+        kind="timer_miss", start_ns=0, end_ns=100 * MS,
+        magnitude=100 * US, probability=0.0,
+    )))
+    sleep_samples(m, n=20)
+    assert m.faults.events("timer_miss") == 0
+
+
+def test_lost_wakeup_drops_callbacks():
+    m = make_machine(num_cores=2)
+    m.install_faults(plan_of(FaultSpec(
+        kind="lost_wakeup", start_ns=0, end_ns=100 * MS, probability=1.0,
+    )))
+    fired = []
+    queue = m.hrtimers[0]
+    queue.arm(10 * US, lambda: fired.append(m.sim.now))
+    m.run(until=1 * MS)
+    # interrupt ran (fired_count) but the callback was dropped
+    assert queue.fired_count == 1
+    assert fired == []
+    assert m.faults.events("lost_wakeup") == 1
+
+
+def test_lost_wakeup_outside_window_is_harmless():
+    m = make_machine(num_cores=2)
+    m.install_faults(plan_of(FaultSpec(
+        kind="lost_wakeup", start_ns=5 * MS, end_ns=6 * MS, probability=1.0,
+    )))
+    fired = []
+    m.hrtimers[0].arm(10 * US, lambda: fired.append(m.sim.now))
+    m.run(until=1 * MS)
+    assert len(fired) == 1
+
+
+def test_clock_drift_overshoots_proportionally():
+    m = make_machine(num_cores=2)
+    m.install_faults(plan_of(FaultSpec(
+        kind="clock_drift", start_ns=0, end_ns=100 * MS, magnitude=0.5,
+    )))
+    samples = sleep_samples(m, n=30, target_us=100)
+    # a 100us sleep must overshoot by ~50us (plus normal pipeline cost)
+    assert min(samples) > 145 * US
+
+
+# --------------------------------------------------------------------- #
+# event injectors
+# --------------------------------------------------------------------- #
+
+
+def test_irq_storm_steals_cpu():
+    m = make_machine(num_cores=2)
+    m.install_faults(plan_of(FaultSpec(
+        kind="irq_storm", start_ns=0, end_ns=10 * MS,
+        period_ns=100 * US, magnitude=0.4, cores=(0,),
+    )))
+    m.run(until=10 * MS)
+    # ~40% of 10ms stolen on core 0 (+-10% jitter), none on core 1
+    assert 3 * MS < m.cores[0].irq_ns < 5 * MS
+    assert m.cores[1].irq_ns == 0
+    assert m.faults.events("irq_storm") > 50
+
+
+def test_core_stall_freezes_core():
+    m = make_machine(num_cores=2)
+    m.install_faults(plan_of(FaultSpec(
+        kind="core_stall", start_ns=1 * MS, end_ns=5 * MS,
+        period_ns=1 * MS, duration_ns=200 * US, cores=(0,),
+    )))
+    m.run(until=10 * MS)
+    assert m.cores[0].smi_stalls == 4          # at 1, 2, 3, 4 ms
+    assert m.cores[0].smi_stall_ns == 4 * 200 * US
+    assert m.cores[1].smi_stalls == 0
+
+
+def test_antagonist_spawns_and_retires_hogs():
+    m = make_machine(num_cores=2)
+    m.install_faults(plan_of(FaultSpec(
+        kind="antagonist", start_ns=1 * MS, end_ns=3 * MS, cores=(1,),
+    )))
+    m.run(until=10 * MS)
+    hogs = [t for t in m.threads if t.name.startswith("antagonist")]
+    assert len(hogs) == 1
+    assert hogs[0].core.index == 1
+    assert not hogs[0].is_alive()
+    # the hog burned roughly the window on its core
+    assert 1.5 * MS < hogs[0].cputime_ns < 2.5 * MS
+
+
+def test_microburst_overlay_counts():
+    m = make_machine(num_cores=2)
+    engine = m.install_faults(plan_of(FaultSpec(
+        kind="microburst", start_ns=1 * MS, end_ns=2 * MS,
+        magnitude=1_000_000,
+    )))
+    fp = FaultableProcess(CbrProcess(1_000_000))
+    engine.register_process(fp)
+    m.sim.call_at(10 * MS, lambda: None)   # keep the sim alive past the window
+    m.run(until=10 * MS)
+    n = fp.advance(10 * MS)
+    # 10ms at 1Mpps inner = 10_000, +1ms of 1Mpps overlay = 1_000
+    assert n == fp.total
+    assert abs(fp.total - 11_000) <= 2
+    assert abs(fp.burst_packets - 1_000) <= 2
+
+
+def test_pause_holds_then_releases_in_one_slug():
+    m = make_machine(num_cores=2)
+    engine = m.install_faults(plan_of(FaultSpec(
+        kind="pause", start_ns=1 * MS, end_ns=2 * MS,
+    )))
+    fp = FaultableProcess(CbrProcess(1_000_000))
+    engine.register_process(fp)
+
+    seen = []
+
+    def probe():
+        seen.append((m.sim.now, fp.advance(m.sim.now)))
+        if m.sim.now < 3 * MS:
+            m.sim.call_after(500 * US, probe)
+
+    m.sim.call_after(500 * US, probe)
+    m.run(until=5 * MS)
+    counts = dict(seen)
+    assert counts[1500 * US] == 0          # paused: arrivals held
+    assert counts[2000 * US] >= 1000       # pause lifted: slug release
+    assert fp.held_peak >= 500
+    # nothing lost overall
+    assert fp.total == sum(c for _, c in seen)
+
+
+def test_empty_plan_draws_no_rng_and_adds_no_events():
+    m = make_machine(num_cores=2)
+    before = {k: r.getstate() for k, r in m.streams._streams.items()}
+    m.install_faults(FaultPlan(name="empty"))
+    m.run(until=1 * MS)
+    after = {k: r.getstate() for k, r in m.streams._streams.items()}
+    assert before == after
+    assert not any(k.startswith("faults.") for k in m.streams._streams)
+
+
+def test_double_install_rejected():
+    import pytest
+
+    m = make_machine(num_cores=2)
+    m.install_faults(FaultPlan(name="a"))
+    with pytest.raises(RuntimeError):
+        m.install_faults(FaultPlan(name="b"))

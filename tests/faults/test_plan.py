@@ -1,0 +1,98 @@
+"""FaultSpec/FaultPlan validation and JSON round-trip."""
+
+import pytest
+
+from repro.faults.plan import SHIPPED_PLANS, FAULT_KINDS, FaultPlan, FaultSpec
+from repro.sim.units import MS
+
+
+def test_spec_defaults():
+    s = FaultSpec(kind="timer_miss", start_ns=1000, end_ns=2000)
+    assert s.period_ns == 0
+    assert s.cores == ()
+    assert s.probability == 1.0
+
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor_strike", start_ns=0, end_ns=10)
+
+
+def test_spec_rejects_bad_window():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="timer_miss", start_ns=500, end_ns=500)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="timer_miss", start_ns=-1, end_ns=500)
+
+
+def test_spec_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="lost_wakeup", start_ns=0, end_ns=10, probability=1.5)
+
+
+def test_irq_storm_needs_period_and_fraction():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="irq_storm", start_ns=0, end_ns=10, magnitude=0.5)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="irq_storm", start_ns=0, end_ns=10,
+                  period_ns=100, magnitude=2.0)
+    # explicit burst duration makes an out-of-range magnitude acceptable
+    FaultSpec(kind="irq_storm", start_ns=0, end_ns=10,
+              period_ns=100, magnitude=2.0, duration_ns=10)
+
+
+def test_core_stall_needs_duration():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="core_stall", start_ns=0, end_ns=10)
+
+
+def test_spec_normalizes_cores_to_tuple():
+    s = FaultSpec(kind="antagonist", start_ns=0, end_ns=10, cores=[2, 3])
+    assert s.cores == (2, 3)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(name="")
+    with pytest.raises(ValueError):
+        FaultPlan(name="x", loss_ceiling=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(name="x", starvation_bound_ns=0)
+
+
+def test_empty_plan_is_legal():
+    plan = FaultPlan(name="nothing")
+    assert plan.specs == ()
+    assert plan.last_fault_end_ns() == 0
+    assert plan.kinds() == ()
+
+
+def test_plan_kinds_dedup_in_order():
+    plan = FaultPlan(name="x", specs=(
+        FaultSpec(kind="pause", start_ns=0, end_ns=10),
+        FaultSpec(kind="timer_miss", start_ns=0, end_ns=10),
+        FaultSpec(kind="pause", start_ns=20, end_ns=30),
+    ))
+    assert plan.kinds() == ("pause", "timer_miss")
+    assert plan.last_fault_end_ns() == 30
+
+
+def test_json_round_trip():
+    import json
+
+    for plan in SHIPPED_PLANS.values():
+        blob = json.dumps(plan.to_dict())
+        back = FaultPlan.from_dict(json.loads(blob))
+        assert back == plan
+
+
+def test_shipped_plans_cover_every_kind():
+    covered = {s.kind for p in SHIPPED_PLANS.values() for s in p.specs}
+    assert covered == set(FAULT_KINDS)
+
+
+def test_shipped_windows_leave_recovery_room():
+    """Every shipped plan must go quiet before the 40 ms run ends, so
+    the recovery invariant is actually exercised."""
+    for plan in SHIPPED_PLANS.values():
+        assert plan.last_fault_end_ns() <= 24 * MS, plan.name

@@ -1,0 +1,74 @@
+"""Edge cases of ``SleepService.call``: zero, negative, and the exact
+``immediate_below_ns`` boundary (complements tests/kernel/test_sleep.py)."""
+
+import pytest
+
+from repro.kernel.thread import Exit
+from repro.sim.units import US
+
+from tests.conftest import make_machine
+
+
+def one_sleep(machine, duration_ns, immediate_below_ns=0):
+    """Run a single sleep call; returns (elapsed_ns, timers_fired)."""
+    service = machine.sleep_service("hr_sleep")
+    service.immediate_below_ns = immediate_below_ns
+    elapsed = []
+
+    def body(kt):
+        t0 = machine.sim.now
+        yield from service.call(kt, duration_ns)
+        elapsed.append(machine.sim.now - t0)
+        yield Exit()
+
+    machine.spawn(body, name="sleeper", core=0)
+    machine.run()
+    assert service.calls == 1
+    return elapsed[0], machine.hrtimers[0].fired_count
+
+
+def test_zero_duration_arms_no_timer():
+    m = make_machine(num_cores=2)
+    elapsed, fired = one_sleep(m, 0)
+    assert fired == 0
+    # still pays the full syscall path (preamble + postamble), unlike
+    # the immediate_below_ns fast path
+    assert elapsed > 0
+
+
+def test_negative_duration_raises():
+    m = make_machine(num_cores=2)
+    service = m.sleep_service("hr_sleep")
+
+    def body(kt):
+        yield from service.call(kt, -1)
+        yield Exit()
+
+    m.spawn(body, name="sleeper", core=0)
+    with pytest.raises(ValueError, match="negative sleep"):
+        m.run()
+
+
+def test_boundary_exactly_at_granularity_arms_timer():
+    """duration == immediate_below_ns is NOT below the granularity:
+    it must arm a real timer."""
+    m = make_machine(num_cores=2)
+    elapsed, fired = one_sleep(m, 1 * US, immediate_below_ns=1 * US)
+    assert fired == 1
+    assert elapsed >= 1 * US
+
+
+def test_boundary_one_below_granularity_returns_immediately():
+    m = make_machine(num_cores=2)
+    elapsed, fired = one_sleep(m, 1 * US - 1, immediate_below_ns=1 * US)
+    assert fired == 0
+    # only the syscall entry/exit cost, no preamble and no sleep
+    assert elapsed < 1 * US
+
+
+def test_immediate_path_is_cheaper_than_armed_path():
+    m1 = make_machine(num_cores=2)
+    fast, _ = one_sleep(m1, 999, immediate_below_ns=1000)
+    m2 = make_machine(num_cores=2)
+    slow, _ = one_sleep(m2, 999, immediate_below_ns=0)
+    assert fast < slow
