@@ -1,33 +1,23 @@
 """Figure 12: the headline comparison — latency and total CPU usage for
-Metronome, static-polling DPDK and XDP across offered rates."""
+Metronome, static-polling DPDK and XDP across offered rates.
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
+"""
 
 from bench_util import emit
 
+from repro.campaign import render_figure, run_figure
 from repro.harness import paper_data
-from repro.harness.report import render_table
-from repro.harness.scenarios import fig12_compare
 
 
 def _run():
-    return fig12_compare(duration_ms=80)
+    return run_figure("fig12")
 
 
 def test_fig12_dpdk_metronome_xdp(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    table_rows = []
-    for system, gbps, lat, p99, cpu, loss in rows:
-        idx = {"metronome": 0, "dpdk": 1, "xdp": 2}[system]
-        paper_cpu = paper_data.FIG12B_CPU[gbps][idx]
-        table_rows.append((system, gbps, lat, p99, cpu, paper_cpu, loss))
-    emit(
-        "fig12",
-        render_table(
-            "Figure 12 — L3 forwarder: Metronome vs DPDK vs XDP",
-            ["system", "gbps", "mean lat us", "p99 us", "cpu",
-             "paper cpu", "loss %"],
-            table_rows,
-        ),
-    )
+    emit("fig12", render_figure("fig12", rows))
     by = {(s, g): (lat, p99, cpu, loss) for s, g, lat, p99, cpu, loss in rows}
     for gbps in (0.5, 1.0, 5.0, 10.0):
         met = by[("metronome", gbps)]

@@ -1,26 +1,22 @@
 """Figure 13: package power vs offered rate under the performance and
-ondemand governors, Metronome vs static DPDK."""
+ondemand governors, Metronome vs static DPDK.
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
+"""
 
 from bench_util import emit
 
-from repro.harness.report import render_table
-from repro.harness.scenarios import fig13_power_governors
+from repro.campaign import render_figure, run_figure
 
 
 def _run():
-    return fig13_power_governors(duration_ms=100)
+    return run_figure("fig13")
 
 
 def test_fig13_power_governors(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit(
-        "fig13",
-        render_table(
-            "Figure 13 — power (W) vs rate under both governors",
-            ["governor", "system", "gbps", "watts", "cpu"],
-            rows,
-        ),
-    )
+    emit("fig13", render_figure("fig13", rows))
     by = {(g, s, r): (w, c) for g, s, r, w, c in rows}
     # Metronome draws less power than polling DPDK in every scenario
     # except possibly 10 Gbps under performance (the paper's exception)

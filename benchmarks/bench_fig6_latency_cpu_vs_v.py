@@ -1,26 +1,22 @@
 """Figure 6: latency and CPU usage versus the target vacation period V̄,
-for several traffic volumes — the latency/CPU trade-off knob."""
+for several traffic volumes — the latency/CPU trade-off knob.
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
+"""
 
 from bench_util import emit
 
-from repro.harness.report import render_table
-from repro.harness.scenarios import fig6_latency_cpu
+from repro.campaign import render_figure, run_figure
 
 
 def _run():
-    return fig6_latency_cpu(duration_ms=80)
+    return run_figure("fig6")
 
 
 def test_fig6_latency_cpu_vs_v(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit(
-        "fig6",
-        render_table(
-            "Figure 6 — latency and CPU vs target V̄",
-            ["gbps", "V̄ us", "mean latency us", "p99 us", "cpu"],
-            rows,
-        ),
-    )
+    emit("fig6", render_figure("fig6", rows))
     by = {(g, v): (lat, p99, cpu) for g, v, lat, p99, cpu in rows}
     for gbps in (1.0, 5.0, 10.0):
         # longer target vacation -> lower CPU ...

@@ -1,26 +1,22 @@
 """Figure 7: busy tries and CPU usage versus the backup timeout T_L at
-line rate — longer T_L means fewer wasted wakeups."""
+line rate — longer T_L means fewer wasted wakeups.
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
+"""
 
 from bench_util import emit
 
-from repro.harness.report import render_table
-from repro.harness.scenarios import fig7_tl_sweep
+from repro.campaign import render_figure, run_figure
 
 
 def _run():
-    return fig7_tl_sweep(duration_ms=80)
+    return run_figure("fig7")
 
 
 def test_fig7_tl_sweep(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit(
-        "fig7",
-        render_table(
-            "Figure 7 — busy tries and CPU vs T_L (line rate, V̄=10us)",
-            ["T_L us", "busy-try fraction", "cpu"],
-            rows,
-        ),
-    )
+    emit("fig7", render_figure("fig7", rows))
     by_tl = {tl: (bt, cpu) for tl, bt, cpu in rows}
     # busy tries monotonically (modulo noise) decrease with T_L
     assert by_tl[700][0] < by_tl[100][0]

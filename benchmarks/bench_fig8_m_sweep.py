@@ -1,26 +1,22 @@
 """Figure 8: busy tries and CPU usage versus the number of Metronome
-threads M at line rate — excessive parallelism is useless."""
+threads M at line rate — excessive parallelism is useless.
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
+"""
 
 from bench_util import emit
 
-from repro.harness.report import render_table
-from repro.harness.scenarios import fig8_m_sweep
+from repro.campaign import render_figure, run_figure
 
 
 def _run():
-    return fig8_m_sweep(duration_ms=80)
+    return run_figure("fig8")
 
 
 def test_fig8_m_sweep(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit(
-        "fig8",
-        render_table(
-            "Figure 8 — busy tries and CPU vs M (line rate)",
-            ["M", "busy-try fraction", "cpu"],
-            rows,
-        ),
-    )
+    emit("fig8", render_figure("fig8", rows))
     by_m = {m: (bt, cpu) for m, bt, cpu in rows}
     # busy-try fraction grows with M (the paper: "increases linearly")
     assert by_m[8][0] > by_m[4][0] > by_m[2][0]

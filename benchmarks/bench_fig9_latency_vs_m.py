@@ -1,31 +1,23 @@
 """Figure 9: latency versus the number of threads M — more threads mean
 more primary→backup switches and visibly worse latency, especially at
-high rate."""
+high rate.
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
+"""
 
 from bench_util import emit
 
-from repro.harness.report import render_table
-from repro.harness.scenarios import fig9_latency_vs_m
+from repro.campaign import render_figure, run_figure
 
 
 def _run():
-    return fig9_latency_vs_m(duration_ms=80)
+    return run_figure("fig9")
 
 
 def test_fig9_latency_vs_m(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    table_rows = [
-        (rate, m, b["median"], b["q1"], b["q3"], b["p99"], b["std"])
-        for rate, m, b in rows
-    ]
-    emit(
-        "fig9",
-        render_table(
-            "Figure 9 — latency (us) vs M",
-            ["rate Mpps", "M", "median", "q1", "q3", "p99", "std"],
-            table_rows,
-        ),
-    )
+    emit("fig9", render_figure("fig9", rows))
     by = {(rate, m): b for rate, m, b in rows}
     # 9a: at high rate, more threads push latency up
     assert by[(14.0, 7)]["median"] > by[(14.0, 2)]["median"]

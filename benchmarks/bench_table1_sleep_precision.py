@@ -2,36 +2,24 @@
 
 Regenerates the paper's Table 1 (mean and 99th percentile of measured
 sleep lengths for 1-200 us targets, SCHED_OTHER thread).
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
 """
 
 from bench_util import emit
 
+from repro.campaign import render_figure, run_figure
 from repro.harness import paper_data
-from repro.harness.report import render_table
-from repro.harness.scenarios import table1_sleep_precision
-
-SAMPLES = 20_000
 
 
 def _run():
-    return table1_sleep_precision(samples=SAMPLES)
+    return run_figure("table1")
 
 
 def test_table1_sleep_precision(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    table_rows = []
-    for service, target, mean, p99 in rows:
-        pm, pp = paper_data.TABLE1[(service, target)]
-        table_rows.append((service, target, mean, pm, p99, pp))
-    emit(
-        "table1",
-        render_table(
-            "Table 1 — measured sleep period (us)",
-            ["service", "target us", "mean", "paper mean", "99p", "paper 99p"],
-            table_rows,
-            note=f"{SAMPLES} samples per point (paper: 1M)",
-        ),
-    )
+    emit("table1", render_figure("table1", rows))
     by_key = {(s, t): (m, p) for s, t, m, p in rows}
     for target in (1, 5, 10, 50, 100, 200):
         hr_mean = by_key[("hr_sleep", target)][0]

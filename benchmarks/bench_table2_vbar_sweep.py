@@ -1,34 +1,22 @@
 """Table 2: mean busy/vacation periods, N_V and loss vs target V̄ at
-line rate (14.88 Mpps, 64B packets)."""
+line rate (14.88 Mpps, 64B packets).
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
+"""
 
 from bench_util import emit
 
-from repro.harness import paper_data
-from repro.harness.report import render_table
-from repro.harness.scenarios import table2_vbar_sweep
-
-DURATION_MS = 120
+from repro.campaign import render_figure, run_figure
 
 
 def _run():
-    return table2_vbar_sweep(duration_ms=DURATION_MS)
+    return run_figure("table2")
 
 
 def test_table2_vbar_sweep(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    table_rows = []
-    for vbar, v, b, nv, loss in rows:
-        pv, pb, pnv, ploss = paper_data.TABLE2[vbar]
-        table_rows.append((vbar, v, pv, b, pb, nv, pnv, loss, ploss))
-    emit(
-        "table2",
-        render_table(
-            "Table 2 — V̄ sweep at line rate",
-            ["target V us", "V us", "paper", "B us", "paper",
-             "N_V", "paper", "loss permille", "paper"],
-            table_rows,
-        ),
-    )
+    emit("table2", render_figure("table2", rows))
     by_vbar = {r[0]: r for r in rows}
     # (essentially) no loss at the paper's operating point V̄ = 10 us:
     # sub-0.02% — residual drops come from modelled kernel-daemon bursts

@@ -1,33 +1,23 @@
 """Table 3: packet loss when Metronome runs on nanosleep() instead of
 hr_sleep(), for several ring sizes — adaptive packet retrieval on
-nanosleep is not feasible at 10 Gbps."""
+nanosleep is not feasible at 10 Gbps.
+
+Thin wrapper over the campaign registry: the sweep grid and rendering
+live in ``repro.campaign.registry``, shared with ``repro campaign run``.
+"""
 
 from bench_util import emit
 
-from repro.harness import paper_data
-from repro.harness.report import render_table
-from repro.harness.scenarios import table3_nanosleep_loss
+from repro.campaign import render_figure, run_figure
 
 
 def _run():
-    return table3_nanosleep_loss(duration_ms=120)
+    return run_figure("table3")
 
 
 def test_table3_nanosleep_loss(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    table_rows = []
-    for ring, vbar, ns_loss, hr_loss in rows:
-        paper_loss = paper_data.TABLE3[(ring, vbar)]
-        table_rows.append((ring, vbar, ns_loss, paper_loss, hr_loss))
-    emit(
-        "table3",
-        render_table(
-            "Table 3 — nanosleep-in-Metronome loss at 10 Gbps (%)",
-            ["ring", "V̄ us", "nanosleep loss %", "paper %", "hr_sleep loss %"],
-            table_rows,
-            note="paper reports hr_sleep achieves no loss in all scenarios",
-        ),
-    )
+    emit("table3", render_figure("table3", rows))
     by = {(ring, vbar): (ns, hr) for ring, vbar, ns, hr in rows}
     # headline: substantial loss with nanosleep at the default ring
     assert by[(1024, 10)][0] > 1.0

@@ -7,21 +7,32 @@ can be assembled from the artifacts.
 
 from __future__ import annotations
 
+import math
 import os
+
+from repro.campaign.artifacts import atomic_write_text
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def emit(name: str, text: str) -> None:
-    """Print a rendered table and archive it to results/<name>.txt."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
-        fh.write(text + "\n")
+    """Print a rendered table and archive it to results/<name>.txt.
+
+    The write is atomic (temp file + rename): an interrupted run leaves
+    either the previous artifact or the complete new one, never a
+    truncated table.
+    """
+    atomic_write_text(os.path.join(RESULTS_DIR, f"{name}.txt"), text + "\n")
     print("\n" + text)
 
 
 def rel_err(measured: float, paper: float) -> float:
-    """Relative error vs the paper's value (0 when paper value is 0)."""
+    """Relative error vs the paper's value.
+
+    A paper value of 0 makes the ratio undefined — return ``nan``
+    (rendered as ``n/a`` by the table formatter) rather than a silent,
+    misleading 0.0.
+    """
     if paper == 0:
-        return 0.0
+        return math.nan
     return (measured - paper) / paper

@@ -1,0 +1,103 @@
+"""Campaign artifact emission: atomic writes, JSON surfaces, summaries.
+
+Every write goes temp-file-then-``os.replace`` so an interrupted or
+crashed campaign can never leave a truncated table or summary behind —
+readers either see the old artifact or the complete new one.
+
+Per figure the campaign writes both surfaces side by side:
+
+* ``<figure>.txt`` — the rendered paper-vs-measured table, identical to
+  what the benchmark script archives;
+* ``<figure>.json`` — the merged raw record plus run metadata, for
+  plotting and regression tooling.
+
+The campaign-level roll-up lands in ``BENCH_campaign.json``: wall
+clock, per-task timings/attempts, and the cache hit rate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+#: summary artifact name (next to the per-figure tables)
+CAMPAIGN_SUMMARY = "BENCH_campaign.json"
+
+
+def default_results_dir() -> str:
+    """``benchmarks/results`` at the repo root (``REPRO_RESULTS_DIR``
+    overrides, e.g. for tests and external checkouts)."""
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        return env
+    here = os.path.abspath(__file__)
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(here))))
+    return os.path.join(repo_root, "benchmarks", "results")
+
+
+def default_cache_dir(results_dir: Optional[str] = None) -> str:
+    return os.path.join(results_dir or default_results_dir(), "cache")
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, obj: Any) -> None:
+    atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def write_figure_artifacts(results_dir: str, name: str, text: str,
+                           payload: Dict[str, Any]) -> None:
+    """Archive one figure's rendered table and its JSON record."""
+    atomic_write_text(os.path.join(results_dir, f"{name}.txt"), text + "\n")
+    atomic_write_json(os.path.join(results_dir, f"{name}.json"), payload)
+
+
+def write_campaign_summary(results_dir: str, summary: Dict[str, Any]) -> str:
+    path = os.path.join(results_dir, CAMPAIGN_SUMMARY)
+    atomic_write_json(path, summary)
+    return path
+
+
+def read_campaign_summary(results_dir: str) -> Optional[Dict[str, Any]]:
+    path = os.path.join(results_dir, CAMPAIGN_SUMMARY)
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def figure_payload(name: str, scenario: str, record: List, *,
+                   seed: int, scale: float, tasks: int,
+                   elapsed_s: float, from_cache: int) -> Dict[str, Any]:
+    """The per-figure JSON artifact body."""
+    return {
+        "figure": name,
+        "scenario": scenario,
+        "seed": seed,
+        "scale": scale,
+        "tasks": tasks,
+        "from_cache": from_cache,
+        "elapsed_s": elapsed_s,
+        "record": record,
+    }

@@ -1,0 +1,167 @@
+"""Content-addressed result cache for campaign tasks.
+
+A task's cache key is ``sha256(spec identity + code fingerprint)``:
+
+* **spec identity** — the task's canonical JSON (figure, scenario,
+  params, seed; see :meth:`~repro.campaign.spec.TaskSpec.canonical`);
+* **code fingerprint** — a hash of the scenario *function's* source
+  combined with a digest of every other ``repro`` source file.
+
+Editing one scenario's body therefore invalidates only that figure's
+tasks, while touching anything in the engine underneath (kernel model,
+NIC, metrics, ...) invalidates everything — the conservative direction.
+Entries live as flat JSON files under ``benchmarks/results/cache/`` and
+are written atomically, so an interrupted campaign never leaves a
+truncated entry behind (corrupt files read as misses).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.campaign.spec import TaskSpec, json_normalize
+
+#: path fragments excluded from the package digest: the scenarios module
+#: is fingerprinted per-function instead, so one scenario edit does not
+#: invalidate every figure's cache.
+_PER_SCENARIO_FILES = ("harness" + os.sep + "scenarios.py",)
+
+_package_digest: Optional[str] = None
+
+
+def package_digest() -> str:
+    """Digest of every ``repro`` source file except the scenarios module.
+
+    Computed once per process; campaigns are short-lived so there is no
+    staleness window worth tracking.
+    """
+    global _package_digest
+    if _package_digest is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                rel = os.path.relpath(path, root)
+                if rel in _PER_SCENARIO_FILES:
+                    continue
+                h.update(rel.encode())
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+        _package_digest = h.hexdigest()
+    return _package_digest
+
+
+def scenario_fingerprint(scenario: str) -> str:
+    """Code fingerprint for one scenario: its own source + the package."""
+    from repro.harness.scenarios import SCENARIOS
+
+    fn = SCENARIOS[scenario]
+    src = inspect.getsource(fn)
+    h = hashlib.sha256()
+    h.update(package_digest().encode())
+    h.update(src.encode())
+    return h.hexdigest()
+
+
+def task_key(spec: TaskSpec, fingerprint: Optional[str] = None) -> str:
+    """The task's content address (64 hex chars)."""
+    if fingerprint is None:
+        fingerprint = scenario_fingerprint(spec.scenario)
+    h = hashlib.sha256()
+    h.update(spec.canonical().encode())
+    h.update(b":")
+    h.update(fingerprint.encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    record: Any
+    elapsed_s: float
+
+
+class ResultCache:
+    """Flat on-disk store of task records, one JSON file per key."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, spec: TaskSpec,
+            fingerprint: Optional[str] = None) -> Optional[CacheEntry]:
+        path = self._path(task_key(spec, fingerprint))
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+            record = entry["record"]
+            elapsed = float(entry["elapsed_s"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CacheEntry(record=record, elapsed_s=elapsed)
+
+    def put(self, spec: TaskSpec, record: Any, elapsed_s: float,
+            fingerprint: Optional[str] = None) -> str:
+        from repro.campaign.artifacts import atomic_write_text
+
+        key = task_key(spec, fingerprint)
+        body = json.dumps(
+            {
+                "spec": spec.to_dict(),
+                "record": json_normalize(record),
+                "elapsed_s": elapsed_s,
+            },
+            sort_keys=True,
+        )
+        atomic_write_text(self._path(key), body + "\n")
+        return key
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        entries = 0
+        size = 0
+        try:
+            with os.scandir(self.root) as it:
+                for e in it:
+                    if e.is_file() and e.name.endswith(".json"):
+                        entries += 1
+                        size += e.stat().st_size
+        except OSError:
+            pass
+        return {"dir": self.root, "entries": entries, "bytes": size}
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,366 @@
+"""The campaign executor: sharded, cached, retrying task execution.
+
+Tasks run across N worker processes (``ProcessPoolExecutor``).  Each
+task is independent — a scenario call at one grid point with an
+explicit seed — so execution order cannot affect results; the merge
+step reassembles records in serial order and the output is
+byte-identical to running the sweep in one process (asserted by
+``tests/campaign/test_determinism.py``).
+
+Robustness follows the :mod:`repro.faults` idiom of bounded retries
+with a clean slate: a task that raises or exceeds the per-task timeout
+is retried up to ``retries`` times, always on a freshly created pool —
+a hung or poisoned worker from a previous attempt is never reused (its
+pool is torn down and its processes terminated at the end of the wave).
+
+With a :class:`~repro.campaign.cache.ResultCache` attached, tasks whose
+content address (spec + code fingerprint) already has an entry are
+served from disk without touching a worker.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import config
+from repro.campaign.cache import ResultCache, scenario_fingerprint
+from repro.campaign.spec import FigureSpec, TaskSpec, json_normalize
+
+#: how often the wave loop polls futures / repaints the progress line
+_POLL_S = 0.2
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by a task selected via ``fail_tasks`` (test/CI hook)."""
+
+
+def execute_task(spec: TaskSpec, fail_tasks: Optional[str] = None) -> Any:
+    """Run one task in the current process and return its record.
+
+    The record is JSON-normalized so the in-process, subprocess, and
+    cached paths are indistinguishable downstream.
+    """
+    from repro.harness.scenarios import SCENARIOS
+
+    if fail_tasks and fail_tasks in (spec.figure, spec.scenario):
+        raise InjectedFailure(f"injected failure for {spec.label()}")
+    fn = SCENARIOS[spec.scenario]
+    record = fn(seed=spec.seed, **spec.params)
+    return json_normalize(record)
+
+
+def _worker(spec_dict: Dict, fail_tasks: Optional[str]) -> Tuple[Any, float]:
+    """Subprocess entry point: returns (record, elapsed_s)."""
+    spec = TaskSpec.from_dict(spec_dict)
+    t0 = time.perf_counter()
+    record = execute_task(spec, fail_tasks=fail_tasks)
+    return record, time.perf_counter() - t0
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task, however it was resolved."""
+
+    spec: TaskSpec
+    record: Any = None
+    elapsed_s: float = 0.0
+    attempts: int = 0
+    from_cache: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CampaignResult:
+    """All task outcomes plus run-level accounting."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    figures: Tuple[str, ...] = ()
+    wall_s: float = 0.0
+    workers: int = 0
+    scale: float = 1.0
+    seed: int = config.DEFAULT_SEED
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.from_cache)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for o in self.outcomes if not o.from_cache)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / len(self.outcomes) if self.outcomes else 0.0
+
+    @property
+    def failures(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def record_for(self, figure: str) -> Optional[List]:
+        """The figure's merged record (serial order), or ``None`` if any
+        of its tasks failed."""
+        tasks = [o for o in self.outcomes if o.spec.figure == figure]
+        if not tasks or any(not o.ok for o in tasks):
+            return None
+        merged: List = []
+        for o in sorted(tasks, key=lambda o: o.spec.index):
+            merged.extend(o.record)
+        return merged
+
+    def figure_outcomes(self, figure: str) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if o.spec.figure == figure]
+
+    def summary(self) -> Dict[str, Any]:
+        """The ``BENCH_campaign.json`` body."""
+        return {
+            "wall_s": self.wall_s,
+            "workers": self.workers,
+            "scale": self.scale,
+            "seed": self.seed,
+            "figures": list(self.figures),
+            "tasks_total": len(self.outcomes),
+            "failures": len(self.failures),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
+            "tasks": [
+                {
+                    "figure": o.spec.figure,
+                    "index": o.spec.index,
+                    "scenario": o.spec.scenario,
+                    "elapsed_s": o.elapsed_s,
+                    "attempts": o.attempts,
+                    "from_cache": o.from_cache,
+                    "error": o.error,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+class _Progress:
+    """A single live line on stderr (repainted in a tty, quiet runs
+    print only the final state)."""
+
+    def __init__(self, enabled: bool, total: int):
+        self.enabled = enabled
+        self.total = total
+        self.tty = enabled and sys.stderr.isatty()
+
+    def update(self, done: int, cached: int, running: int,
+               failed: int) -> None:
+        if not self.tty:
+            return
+        sys.stderr.write(
+            f"\rcampaign: {done}/{self.total} tasks done "
+            f"({cached} cached, {running} running, {failed} failed) "
+        )
+        sys.stderr.flush()
+
+    def finish(self, done: int, cached: int, failed: int,
+               wall_s: float) -> None:
+        if not self.enabled:
+            return
+        if self.tty:
+            sys.stderr.write("\r\x1b[K")
+        sys.stderr.write(
+            f"campaign: {done}/{self.total} tasks in {wall_s:.1f}s "
+            f"({cached} cached, {failed} failed)\n"
+        )
+        sys.stderr.flush()
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Best-effort kill of a pool that may hold hung workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def run_tasks(
+    specs: Sequence[TaskSpec],
+    *,
+    workers: int = 4,
+    cache: Optional[ResultCache] = None,
+    timeout_s: float = 300.0,
+    retries: int = 2,
+    fail_tasks: Optional[str] = None,
+    progress: bool = False,
+) -> List[TaskOutcome]:
+    """Execute ``specs`` and return one outcome per spec, same order.
+
+    ``workers=0`` runs everything serially in the current process
+    (no per-task timeout there — nothing to kill).  ``retries`` is the
+    number of *re*-attempts after the first failure or timeout.
+    """
+    t0 = time.perf_counter()
+    outcomes: Dict[Tuple[str, int], TaskOutcome] = {}
+    fingerprints = {s.scenario: scenario_fingerprint(s.scenario)
+                    for s in specs} if cache is not None else {}
+
+    pending: List[TaskSpec] = []
+    for spec in specs:
+        entry = cache.get(spec, fingerprints[spec.scenario]) \
+            if cache is not None else None
+        if entry is not None:
+            outcomes[spec.key] = TaskOutcome(
+                spec=spec, record=entry.record, elapsed_s=entry.elapsed_s,
+                from_cache=True)
+        else:
+            pending.append(spec)
+
+    prog = _Progress(progress, len(specs))
+
+    def _done_counts() -> Tuple[int, int, int]:
+        done = len(outcomes)
+        cached = sum(1 for o in outcomes.values() if o.from_cache)
+        failed = sum(1 for o in outcomes.values() if not o.ok)
+        return done, cached, failed
+
+    def _store_success(spec: TaskSpec, record: Any, elapsed: float,
+                       attempts: int) -> None:
+        outcomes[spec.key] = TaskOutcome(
+            spec=spec, record=record, elapsed_s=elapsed, attempts=attempts)
+        if cache is not None:
+            cache.put(spec, record, elapsed, fingerprints[spec.scenario])
+
+    attempts: Dict[Tuple[str, int], int] = {s.key: 0 for s in pending}
+
+    if workers <= 0:
+        for spec in pending:
+            while True:
+                attempts[spec.key] += 1
+                t_task = time.perf_counter()
+                try:
+                    record = execute_task(spec, fail_tasks=fail_tasks)
+                except Exception as exc:
+                    if attempts[spec.key] <= retries:
+                        continue
+                    outcomes[spec.key] = TaskOutcome(
+                        spec=spec, attempts=attempts[spec.key],
+                        error=f"{type(exc).__name__}: {exc}")
+                    break
+                _store_success(spec, record,
+                               time.perf_counter() - t_task,
+                               attempts[spec.key])
+                break
+            done, cached, failed = _done_counts()
+            prog.update(done, cached, 0, failed)
+    else:
+        todo = pending
+        while todo:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(todo)))
+            futures = {pool.submit(_worker, s.to_dict(), fail_tasks): s
+                       for s in todo}
+            waiting = set(futures)
+            started: Dict[Any, float] = {}
+            next_round: List[TaskSpec] = []
+            hung = False
+            while waiting:
+                done_set, _ = wait(waiting, timeout=_POLL_S,
+                                   return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for fut in done_set:
+                    waiting.discard(fut)
+                    spec = futures[fut]
+                    attempts[spec.key] += 1
+                    try:
+                        record, elapsed = fut.result()
+                    except Exception as exc:
+                        if attempts[spec.key] <= retries:
+                            next_round.append(spec)
+                        else:
+                            outcomes[spec.key] = TaskOutcome(
+                                spec=spec, attempts=attempts[spec.key],
+                                error=f"{type(exc).__name__}: {exc}")
+                        continue
+                    _store_success(spec, record, elapsed,
+                                   attempts[spec.key])
+                for fut in list(waiting):
+                    if not fut.running():
+                        continue
+                    started.setdefault(fut, now)
+                    if now - started[fut] <= timeout_s:
+                        continue
+                    # stop waiting; the worker underneath may be hung
+                    # and is dealt with when the wave's pool is torn down
+                    waiting.discard(fut)
+                    hung = True
+                    spec = futures[fut]
+                    attempts[spec.key] += 1
+                    if attempts[spec.key] <= retries:
+                        next_round.append(spec)
+                    else:
+                        outcomes[spec.key] = TaskOutcome(
+                            spec=spec, attempts=attempts[spec.key],
+                            error=f"timeout after {timeout_s:.0f}s")
+                done, cached, failed = _done_counts()
+                prog.update(done, cached, len(waiting), failed)
+            if hung:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+            # retries run on the next wave's freshly created pool
+            todo = sorted(next_round, key=lambda s: s.key)
+
+    done, cached, failed = _done_counts()
+    prog.finish(done, cached, failed, time.perf_counter() - t0)
+    return [outcomes[s.key] for s in specs]
+
+
+def run_campaign(
+    figures: Optional[Sequence[str]] = None,
+    *,
+    workers: int = 4,
+    scale: float = 1.0,
+    seed: int = config.DEFAULT_SEED,
+    cache: Optional[ResultCache] = None,
+    timeout_s: float = 300.0,
+    retries: int = 2,
+    fail_tasks: Optional[str] = None,
+    progress: bool = False,
+    registry: Optional[Mapping[str, FigureSpec]] = None,
+) -> CampaignResult:
+    """Run a sweep over ``figures`` (default: every registered figure).
+
+    Pure compute + cache: artifact emission is the caller's job (the
+    CLI renders tables and writes the JSON surfaces; benches only want
+    the records).
+    """
+    from repro.campaign.registry import FIGURES
+
+    registry = registry if registry is not None else FIGURES
+    names = tuple(figures) if figures else tuple(registry)
+    specs: List[TaskSpec] = []
+    for name in names:
+        if name not in registry:
+            known = ", ".join(registry)
+            raise KeyError(f"unknown figure {name!r} (known: {known})")
+        specs.extend(registry[name].tasks(scale=scale, seed=seed))
+
+    t0 = time.perf_counter()
+    outcomes = run_tasks(
+        specs, workers=workers, cache=cache, timeout_s=timeout_s,
+        retries=retries, fail_tasks=fail_tasks, progress=progress)
+    return CampaignResult(
+        outcomes=outcomes,
+        figures=names,
+        wall_s=time.perf_counter() - t0,
+        workers=workers,
+        scale=scale,
+        seed=seed,
+    )

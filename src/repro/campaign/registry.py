@@ -1,0 +1,170 @@
+"""The shipped figure registrations.
+
+Each entry mirrors the corresponding ``benchmarks/bench_*.py`` exactly
+— same scenario parameters, same table title/headers/note, same paper
+columns — so ``repro campaign run`` regenerates artifacts that are
+byte-identical to what the serial benchmark scripts archive.  The
+benchmark scripts themselves are thin wrappers over this registry (see
+``repro.campaign.run_figure``), which keeps the two from diverging.
+
+Only loop-decomposable scenarios with JSON-friendly row records are
+registered; scenarios returning rich dataclass series (fig2, fig5,
+fig11, fig14, fig15) still run through ``repro run`` / their benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.campaign.spec import FigureSpec
+from repro.harness import paper_data
+
+
+def _table1_rows(record: List) -> List:
+    return [
+        (s, t, mean, paper_data.TABLE1[(s, t)][0],
+         p99, paper_data.TABLE1[(s, t)][1])
+        for s, t, mean, p99 in record
+    ]
+
+
+def _table2_rows(record: List) -> List:
+    out = []
+    for vbar, v, b, nv, loss in record:
+        pv, pb, pnv, ploss = paper_data.TABLE2[vbar]
+        out.append((vbar, v, pv, b, pb, nv, pnv, loss, ploss))
+    return out
+
+
+def _table3_rows(record: List) -> List:
+    return [
+        (ring, vbar, ns_loss, paper_data.TABLE3[(ring, vbar)], hr_loss)
+        for ring, vbar, ns_loss, hr_loss in record
+    ]
+
+
+def _fig9_rows(record: List) -> List:
+    return [
+        (rate, m, b["median"], b["q1"], b["q3"], b["p99"], b["std"])
+        for rate, m, b in record
+    ]
+
+
+def _fig12_rows(record: List) -> List:
+    out = []
+    for system, gbps, lat, p99, cpu, loss in record:
+        idx = {"metronome": 0, "dpdk": 1, "xdp": 2}[system]
+        out.append((system, gbps, lat, p99, cpu,
+                    paper_data.FIG12B_CPU[gbps][idx], loss))
+    return out
+
+
+def _figures() -> Dict[str, FigureSpec]:
+    figures = [
+        FigureSpec(
+            name="table1",
+            scenario="table1_sleep_precision",
+            title="Table 1 — measured sleep period (us)",
+            headers=("service", "target us", "mean", "paper mean",
+                     "99p", "paper 99p"),
+            axes=("services", "targets_us"),
+            grid=(("nanosleep", "hr_sleep"), (1, 5, 10, 50, 100, 200)),
+            duration_param="samples",
+            duration_base=20_000,
+            duration_floor=500,
+            row_fn=_table1_rows,
+            note="20000 samples per point (paper: 1M)",
+        ),
+        FigureSpec(
+            name="table2",
+            scenario="table2_vbar_sweep",
+            title="Table 2 — V̄ sweep at line rate",
+            headers=("target V us", "V us", "paper", "B us", "paper",
+                     "N_V", "paper", "loss permille", "paper"),
+            axes=("vbars_us",),
+            grid=((5, 10, 12, 15, 20),),
+            duration_base=120,
+            row_fn=_table2_rows,
+        ),
+        FigureSpec(
+            name="table3",
+            scenario="table3_nanosleep_loss",
+            title="Table 3 — nanosleep-in-Metronome loss at 10 Gbps (%)",
+            headers=("ring", "V̄ us", "nanosleep loss %", "paper %",
+                     "hr_sleep loss %"),
+            axes=("cases",),
+            grid=(((1024, 10), (2048, 10), (4096, 10), (4096, 1)),),
+            duration_base=120,
+            row_fn=_table3_rows,
+            note="paper reports hr_sleep achieves no loss in all scenarios",
+        ),
+        FigureSpec(
+            name="fig6",
+            scenario="fig6_latency_cpu",
+            title="Figure 6 — latency and CPU vs target V̄",
+            headers=("gbps", "V̄ us", "mean latency us", "p99 us", "cpu"),
+            axes=("rates_gbps", "vbars_us"),
+            grid=((1.0, 5.0, 10.0), (5, 10, 15, 20)),
+            duration_base=80,
+        ),
+        FigureSpec(
+            name="fig7",
+            scenario="fig7_tl_sweep",
+            title="Figure 7 — busy tries and CPU vs T_L (line rate, V̄=10us)",
+            headers=("T_L us", "busy-try fraction", "cpu"),
+            axes=("tls_us",),
+            grid=((100, 200, 300, 400, 500, 600, 700),),
+            duration_base=80,
+        ),
+        FigureSpec(
+            name="fig8",
+            scenario="fig8_m_sweep",
+            title="Figure 8 — busy tries and CPU vs M (line rate)",
+            headers=("M", "busy-try fraction", "cpu"),
+            axes=("m_values",),
+            grid=((2, 3, 4, 5, 6, 7, 8),),
+            duration_base=80,
+        ),
+        FigureSpec(
+            name="fig9",
+            scenario="fig9_latency_vs_m",
+            title="Figure 9 — latency (us) vs M",
+            headers=("rate Mpps", "M", "median", "q1", "q3", "p99", "std"),
+            axes=("rates_mpps", "m_values"),
+            grid=((14.0, 1.0), (2, 3, 5, 7)),
+            duration_base=80,
+            row_fn=_fig9_rows,
+        ),
+        FigureSpec(
+            name="fig12",
+            scenario="fig12_compare",
+            title="Figure 12 — L3 forwarder: Metronome vs DPDK vs XDP",
+            headers=("system", "gbps", "mean lat us", "p99 us", "cpu",
+                     "paper cpu", "loss %"),
+            axes=("rates_gbps",),
+            grid=((0.5, 1.0, 5.0, 10.0),),
+            duration_base=80,
+            row_fn=_fig12_rows,
+        ),
+        FigureSpec(
+            name="fig13",
+            scenario="fig13_power_governors",
+            title="Figure 13 — power (W) vs rate under both governors",
+            headers=("governor", "system", "gbps", "watts", "cpu"),
+            axes=("governors", "rates_gbps"),
+            grid=(("performance", "ondemand"), (0.0, 0.5, 1.0, 5.0, 10.0)),
+            duration_base=100,
+        ),
+    ]
+    return {f.name: f for f in figures}
+
+
+#: the shipped figure sweeps, by name (insertion order = run order)
+FIGURES: Dict[str, FigureSpec] = _figures()
+
+
+def get_figure(name: str) -> FigureSpec:
+    if name not in FIGURES:
+        known = ", ".join(FIGURES)
+        raise KeyError(f"unknown campaign figure {name!r} (known: {known})")
+    return FIGURES[name]

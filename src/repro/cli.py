@@ -23,13 +23,14 @@ from typing import Callable, Dict, List
 from repro import config
 from repro.harness import extensions, scenarios
 from repro.harness.report import render_table
+from repro.harness.scaling import FAST_SCALE, scaled
 
 
 def _table1(duration_scale: float, seed: int) -> str:
     from repro.harness.paper_data import TABLE1
 
     rows = scenarios.table1_sleep_precision(
-        samples=max(500, int(10_000 * duration_scale)), seed=seed)
+        samples=scaled(10_000, duration_scale, 500), seed=seed)
     table = [
         (s, t, m, TABLE1[(s, t)][0], p, TABLE1[(s, t)][1])
         for s, t, m, p in rows
@@ -45,7 +46,7 @@ def _table2(duration_scale: float, seed: int) -> str:
     from repro.harness.paper_data import TABLE2
 
     rows = scenarios.table2_vbar_sweep(
-        duration_ms=max(20, int(100 * duration_scale)), seed=seed)
+        duration_ms=scaled(100, duration_scale, 20), seed=seed)
     table = [
         (v, mv, TABLE2[v][0], b, TABLE2[v][1], nv, TABLE2[v][2], loss)
         for v, mv, b, nv, loss in rows
@@ -60,7 +61,7 @@ def _table2(duration_scale: float, seed: int) -> str:
 
 def _table3(duration_scale: float, seed: int) -> str:
     rows = scenarios.table3_nanosleep_loss(
-        duration_ms=max(20, int(100 * duration_scale)), seed=seed)
+        duration_ms=scaled(100, duration_scale, 20), seed=seed)
     return render_table(
         "Table 3 — nanosleep loss at 10 Gbps (%)",
         ["ring", "V̄ us", "nanosleep %", "hr_sleep %"],
@@ -70,7 +71,7 @@ def _table3(duration_scale: float, seed: int) -> str:
 
 def _fig2(duration_scale: float, seed: int) -> str:
     points = scenarios.fig2_cpu_energy(
-        iterations=max(1000, int(10_000 * duration_scale)), seed=seed)
+        iterations=scaled(10_000, duration_scale, 1000), seed=seed)
     return render_table(
         "Figure 2 — CPU / energy per sleep service",
         ["service", "timeout us", "threads", "cpu ms", "energy J"],
@@ -81,7 +82,7 @@ def _fig2(duration_scale: float, seed: int) -> str:
 
 def _fig5(duration_scale: float, seed: int) -> str:
     series = scenarios.fig5_vacation_pdf(
-        duration_ms=max(50, int(250 * duration_scale)), seed=seed)
+        duration_ms=scaled(250, duration_scale, 50), seed=seed)
     rows = []
     for s in series:
         for i in range(0, len(s.bin_centers_us), 5):
@@ -96,7 +97,7 @@ def _fig5(duration_scale: float, seed: int) -> str:
 
 def _fig6(duration_scale: float, seed: int) -> str:
     rows = scenarios.fig6_latency_cpu(
-        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+        duration_ms=scaled(60, duration_scale, 20), seed=seed)
     return render_table(
         "Figure 6 — latency & CPU vs V̄",
         ["gbps", "V̄ us", "mean lat us", "p99 us", "cpu"],
@@ -106,21 +107,21 @@ def _fig6(duration_scale: float, seed: int) -> str:
 
 def _fig7(duration_scale: float, seed: int) -> str:
     rows = scenarios.fig7_tl_sweep(
-        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+        duration_ms=scaled(60, duration_scale, 20), seed=seed)
     return render_table("Figure 7 — T_L sweep",
                         ["T_L us", "busy tries", "cpu"], rows)
 
 
 def _fig8(duration_scale: float, seed: int) -> str:
     rows = scenarios.fig8_m_sweep(
-        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+        duration_ms=scaled(60, duration_scale, 20), seed=seed)
     return render_table("Figure 8 — M sweep",
                         ["M", "busy tries", "cpu"], rows)
 
 
 def _fig9(duration_scale: float, seed: int) -> str:
     rows = scenarios.fig9_latency_vs_m(
-        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+        duration_ms=scaled(60, duration_scale, 20), seed=seed)
     return render_table(
         "Figure 9 — latency vs M",
         ["rate Mpps", "M", "median us", "p99 us", "std us"],
@@ -130,7 +131,7 @@ def _fig9(duration_scale: float, seed: int) -> str:
 
 def _fig10(duration_scale: float, seed: int) -> str:
     rows = scenarios.fig10_latency_boxplots(
-        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+        duration_ms=scaled(60, duration_scale, 20), seed=seed)
     return render_table(
         "Figure 10 — latency: hr_sleep vs nanosleep",
         ["service", "gbps", "V̄ us", "median us", "q3 us"],
@@ -170,7 +171,7 @@ def _fig11(duration_scale: float, seed: int) -> str:
 
 def _fig12(duration_scale: float, seed: int) -> str:
     rows = scenarios.fig12_compare(
-        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+        duration_ms=scaled(60, duration_scale, 20), seed=seed)
     return render_table(
         "Figure 12 — Metronome vs DPDK vs XDP",
         ["system", "gbps", "mean lat us", "p99 us", "cpu", "loss %"],
@@ -180,7 +181,7 @@ def _fig12(duration_scale: float, seed: int) -> str:
 
 def _fig13(duration_scale: float, seed: int) -> str:
     rows = scenarios.fig13_power_governors(
-        duration_ms=max(20, int(80 * duration_scale)), seed=seed)
+        duration_ms=scaled(80, duration_scale, 20), seed=seed)
     return render_table(
         "Figure 13 — power vs rate per governor",
         ["governor", "system", "gbps", "watts", "cpu"],
@@ -190,8 +191,8 @@ def _fig13(duration_scale: float, seed: int) -> str:
 
 def _fig14(duration_scale: float, seed: int) -> str:
     r = scenarios.ferret_coexistence(
-        ferret_work_ms=max(40, int(150 * duration_scale)),
-        throughput_ms=max(60, int(300 * duration_scale)),
+        ferret_work_ms=scaled(150, duration_scale, 40),
+        throughput_ms=scaled(300, duration_scale, 60),
         seed=seed,
     )
     return render_table(
@@ -210,7 +211,7 @@ def _fig14(duration_scale: float, seed: int) -> str:
 
 def _fig15(duration_scale: float, seed: int) -> str:
     rows = scenarios.fig15_apps(
-        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+        duration_ms=scaled(60, duration_scale, 20), seed=seed)
     return render_table(
         "Figure 15 — IPsec & FloWatcher CPU",
         ["app", "system", "rate Mpps", "cpu", "throughput"],
@@ -220,7 +221,7 @@ def _fig15(duration_scale: float, seed: int) -> str:
 
 def _rotation(duration_scale: float, seed: int) -> str:
     r = extensions.role_rotation(
-        duration_ms=max(20, int(80 * duration_scale)), seed=seed)
+        duration_ms=scaled(80, duration_scale, 20), seed=seed)
     rows = [(t, f"{v:.3f}") for t, v in sorted(r.share_by_thread.items())]
     rows.append(("switches", r.switches))
     return render_table("Figure 4 — role rotation", ["metric", "value"], rows)
@@ -228,7 +229,7 @@ def _rotation(duration_scale: float, seed: int) -> str:
 
 def _bidir(duration_scale: float, seed: int) -> str:
     r = extensions.bidirectional_throughput(
-        duration_ms=max(20, int(60 * duration_scale)), seed=seed)
+        duration_ms=scaled(60, duration_scale, 20), seed=seed)
     return render_table(
         "§5.1 — bidirectional",
         ["system", "Mpps/port", "cpu"],
@@ -239,7 +240,7 @@ def _bidir(duration_scale: float, seed: int) -> str:
 
 def _smt(duration_scale: float, seed: int) -> str:
     r = extensions.smt_interference(
-        job_work_ms=max(15, int(60 * duration_scale)), seed=seed)
+        job_work_ms=scaled(60, duration_scale, 15), seed=seed)
     return render_table(
         "Extension — SMT sibling interference",
         ["sibling runs", "job ms", "slowdown"],
@@ -252,7 +253,7 @@ def _smt(duration_scale: float, seed: int) -> str:
 
 def _pacing(duration_scale: float, seed: int) -> str:
     rows = extensions.pacing_comparison(
-        count=max(50, int(300 * duration_scale)), seed=seed)
+        count=scaled(300, duration_scale, 50), seed=seed)
     return render_table(
         "Extension — sleep-based pacing",
         ["service", "kpps", "rate error", "jitter us"],
@@ -265,7 +266,7 @@ def _quickstart(duration_scale: float, seed: int) -> str:
 
     res = run_metronome(
         config.LINE_RATE_PPS,
-        duration_ms=max(20, int(100 * duration_scale)),
+        duration_ms=scaled(100, duration_scale, 20),
         cfg=config.SimConfig(seed=seed),
     )
     return render_table(
@@ -334,6 +335,99 @@ def _chaos_cmd(args) -> int:
     return 1 if failures else 0
 
 
+def _campaign_cmd(args) -> int:
+    """``repro campaign``: sharded, cached sweeps (docs/CAMPAIGN.md)."""
+    from repro import campaign as camp
+
+    if args.campaign_cmd == "list":
+        print("registered campaign figures:")
+        total = 0
+        for name, fig in camp.FIGURES.items():
+            n = fig.task_count()
+            total += n
+            print(f"  {name:8s} {n:3d} tasks  {fig.scenario}")
+        print(f"total: {total} tasks")
+        return 0
+
+    results_dir = args.results_dir or camp.default_results_dir()
+
+    if args.campaign_cmd == "status":
+        stats = camp.ResultCache(camp.default_cache_dir(results_dir)).stats()
+        summary = camp.read_campaign_summary(results_dir)
+        if summary is None:
+            print(f"no campaign summary under {results_dir}")
+        else:
+            c = summary["cache"]
+            print(render_table(
+                "last campaign",
+                ["metric", "value"],
+                [
+                    ("figures", ", ".join(summary["figures"])),
+                    ("tasks", summary["tasks_total"]),
+                    ("failures", summary["failures"]),
+                    ("wall s", summary["wall_s"]),
+                    ("workers", summary["workers"]),
+                    ("scale", summary["scale"]),
+                    ("seed", summary["seed"]),
+                    ("cache hits", c["hits"]),
+                    ("cache hit rate", c["hit_rate"]),
+                ],
+            ))
+        print(f"cache: {stats['entries']} entries, "
+              f"{stats['bytes'] / 1e6:.2f} MB under {stats['dir']}")
+        return 0
+
+    # run
+    figures = None
+    if args.figures:
+        figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+        unknown = [f for f in figures if f not in camp.FIGURES]
+        if unknown:
+            print(f"unknown figure(s) {', '.join(unknown)}; "
+                  "try `repro campaign list`")
+            return 2
+    cache = None
+    if not args.no_cache:
+        cache = camp.ResultCache(camp.default_cache_dir(results_dir))
+    res = camp.run_campaign(
+        figures,
+        workers=args.workers,
+        scale=FAST_SCALE if args.fast else 1.0,
+        seed=args.seed,
+        cache=cache,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+        fail_tasks=args.fail_tasks,
+        progress=True,
+    )
+    for name in res.figures:
+        outs = res.figure_outcomes(name)
+        record = res.record_for(name)
+        if record is None:
+            bad = [o for o in outs if not o.ok]
+            print(f"\n{name}: FAILED — "
+                  + "; ".join(f"{o.spec.label()}: {o.error}" for o in bad))
+            continue
+        fig = camp.get_figure(name)
+        text = fig.render(record)
+        camp.write_figure_artifacts(
+            results_dir, name, text,
+            camp.figure_payload(
+                name, fig.scenario, record,
+                seed=res.seed, scale=res.scale, tasks=len(outs),
+                from_cache=sum(1 for o in outs if o.from_cache),
+                elapsed_s=sum(o.elapsed_s for o in outs),
+            ),
+        )
+        print("\n" + text)
+    camp.write_campaign_summary(results_dir, res.summary())
+    print(f"\ncampaign: {len(res.outcomes)} tasks in {res.wall_s:.1f}s wall, "
+          f"cache {res.cache_hits}/{len(res.outcomes)} "
+          f"({100 * res.cache_hit_rate:.0f}% hit rate), "
+          f"{len(res.failures)} failure(s) -> {results_dir}")
+    return 1 if res.failures else 0
+
+
 #: systems that can be run under the tracer (``repro trace <name>``)
 TRACEABLE = ("quickstart", "dpdk", "xdp")
 
@@ -348,8 +442,8 @@ def _trace_cmd(args) -> int:
         write_chrome_trace,
     )
 
-    scale = 0.25 if args.fast else 1.0
-    duration = max(10, int(args.duration_ms * scale))
+    scale = FAST_SCALE if args.fast else 1.0
+    duration = scaled(args.duration_ms, scale, 10)
     cfg = config.SimConfig(seed=args.seed)
     if args.experiment == "dpdk":
         res = run_dpdk(config.LINE_RATE_PPS, duration_ms=duration,
@@ -434,6 +528,32 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--seed", type=int, action="append", default=None,
                     help="seed (repeatable; default 7, 42, 2020)")
     ch.add_argument("--duration-ms", type=int, default=40)
+    ca = sub.add_parser(
+        "campaign",
+        help="sharded benchmark sweeps with result caching")
+    casub = ca.add_subparsers(dest="campaign_cmd", required=True)
+    casub.add_parser("list", help="list the registered figure sweeps")
+    crun = casub.add_parser("run", help="run a campaign")
+    crun.add_argument("--figures", default=None,
+                      help="comma-separated figure names (default: all)")
+    crun.add_argument("--workers", type=int, default=4,
+                      help="worker processes (0 = serial in-process)")
+    crun.add_argument("--no-cache", action="store_true",
+                      help="ignore and do not update the result cache")
+    crun.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    crun.add_argument("--fast", action="store_true",
+                      help="~4x shorter simulated durations")
+    crun.add_argument("--timeout-s", type=float, default=300.0,
+                      help="per-task timeout (seconds)")
+    crun.add_argument("--retries", type=int, default=2,
+                      help="re-attempts per failed or timed-out task")
+    crun.add_argument("--results-dir", default=None,
+                      help="artifact directory (default benchmarks/results)")
+    # test/CI hook: make the named figure's (or scenario's) tasks raise
+    crun.add_argument("--fail-tasks", default=None, help=argparse.SUPPRESS)
+    cst = casub.add_parser(
+        "status", help="show the last campaign summary and cache stats")
+    cst.add_argument("--results-dir", default=None)
     qs = [p for p in sub.choices.values()]
     for p in qs:
         if p.prog.endswith("quickstart"):
@@ -449,7 +569,7 @@ def main(argv: List[str] = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"  {name}")
         return 0
-    scale = 0.25 if getattr(args, "fast", False) else 1.0
+    scale = FAST_SCALE if getattr(args, "fast", False) else 1.0
     seed = getattr(args, "seed", config.DEFAULT_SEED)
     if args.command == "validate":
         from repro.harness.validate import run_validation
@@ -463,6 +583,8 @@ def main(argv: List[str] = None) -> int:
         return _trace_cmd(args)
     if args.command == "chaos":
         return _chaos_cmd(args)
+    if args.command == "campaign":
+        return _campaign_cmd(args)
     if args.command == "quickstart":
         print(_quickstart(scale, seed))
         return 0

@@ -34,6 +34,11 @@ def default_app() -> PacketApp:
     return L3FwdApp(flows=FlowSet())
 
 
+def as_arrival_process(rate: object) -> ArrivalProcess:
+    """Coerce a pps count into CBR traffic; processes pass through."""
+    return rate if isinstance(rate, ArrivalProcess) else CbrProcess(int(rate))
+
+
 @dataclass
 class BaseRunResult:
     """Metrics common to every system."""
@@ -145,7 +150,7 @@ def run_metronome(
     machine = Machine(cfg)
     if trace:
         machine.enable_tracing()
-    process = rate if isinstance(rate, ArrivalProcess) else CbrProcess(int(rate))
+    process = as_arrival_process(rate)
     if fault_plan is not None:
         engine = machine.install_faults(fault_plan)
         if any(s.kind in TRAFFIC_KINDS for s in fault_plan.specs):
@@ -237,7 +242,7 @@ def run_dpdk(
     machine = Machine(cfg)
     if trace:
         machine.enable_tracing()
-    process = rate if isinstance(rate, ArrivalProcess) else CbrProcess(int(rate))
+    process = as_arrival_process(rate)
     queue = _make_queue(
         machine, process, ring_size or cfg.rx_ring_size, cfg.latency_sample_every
     )

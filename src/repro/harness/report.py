@@ -7,11 +7,14 @@ assembled straight from bench output.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 
 def _fmt(value) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
         if value == 0:
             return "0"
         if abs(value) >= 1000:

@@ -8,7 +8,7 @@ Durations are parameterized so tests can run abbreviated versions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro import config
 from repro.core.model import pdf_vacation
@@ -780,3 +780,34 @@ def chaos_suite(
                 )
             )
     return rows
+
+
+# ---------------------------------------------------------------------- #
+# Scenario registry
+# ---------------------------------------------------------------------- #
+
+#: every scenario by function name — the campaign engine
+#: (:mod:`repro.campaign`) resolves task specs through this table, and
+#: the result cache fingerprints each function's source individually.
+SCENARIOS: Dict[str, Callable] = {
+    fn.__name__: fn
+    for fn in (
+        table1_sleep_precision,
+        fig2_cpu_energy,
+        table2_vbar_sweep,
+        fig5_vacation_pdf,
+        fig6_latency_cpu,
+        fig7_tl_sweep,
+        fig8_m_sweep,
+        fig9_latency_vs_m,
+        table3_nanosleep_loss,
+        fig10_latency_boxplots,
+        fig11_adaptation,
+        fig12_compare,
+        fig13_power_governors,
+        ferret_coexistence,
+        fig15_apps,
+        tuned_low_latency,
+        chaos_suite,
+    )
+}

@@ -1,0 +1,101 @@
+"""Content-addressed result cache: keying, round-trip, corruption."""
+
+import json
+import os
+
+from repro.campaign.cache import (
+    ResultCache,
+    package_digest,
+    scenario_fingerprint,
+    task_key,
+)
+from repro.campaign.spec import TaskSpec
+
+
+def _spec(**over):
+    base = dict(figure="fig7", scenario="fig7_tl_sweep",
+                params={"tls_us": (300,), "duration_ms": 20}, seed=5)
+    base.update(over)
+    return TaskSpec(**base)
+
+
+def test_put_get_round_trip(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = _spec()
+    assert cache.get(spec, fingerprint="abc") is None
+    assert cache.misses == 1
+    cache.put(spec, [[300, 1.5, 0.4]], 0.2, fingerprint="abc")
+    entry = cache.get(spec, fingerprint="abc")
+    assert entry is not None
+    assert entry.record == [[300, 1.5, 0.4]]
+    assert entry.elapsed_s == 0.2
+    assert cache.hits == 1
+    assert 0 < cache.hit_rate < 1
+
+
+def test_key_varies_with_seed_params_fingerprint():
+    base = task_key(_spec(), fingerprint="fp")
+    assert task_key(_spec(seed=6), fingerprint="fp") != base
+    assert task_key(_spec(params={"tls_us": (400,), "duration_ms": 20}),
+                    fingerprint="fp") != base
+    assert task_key(_spec(), fingerprint="fp2") != base
+    # task index does not participate in the key: re-sharding a grid
+    # must not invalidate cached points
+    assert task_key(_spec(index=9), fingerprint="fp") == base
+
+
+def test_default_fingerprint_resolves_from_scenario():
+    spec = _spec()
+    explicit = task_key(spec, fingerprint=scenario_fingerprint(spec.scenario))
+    assert task_key(spec) == explicit
+
+
+def test_record_is_json_normalized_on_put(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = _spec()
+    cache.put(spec, [(300, 1.5)], 0.1, fingerprint="abc")
+    entry = cache.get(spec, fingerprint="abc")
+    assert entry.record == [[300, 1.5]]
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = _spec()
+    key = cache.put(spec, [1], 0.1, fingerprint="abc")
+    path = tmp_path / f"{key}.json"
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.get(spec, fingerprint="abc") is None
+
+
+def test_entries_are_flat_json_files(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.put(_spec(), [[1, 2]], 0.3, fingerprint="abc")
+    payload = json.loads((tmp_path / f"{key}.json").read_text())
+    assert payload["record"] == [[1, 2]]
+    assert payload["spec"]["figure"] == "fig7"
+    # no stray temp files left behind by the atomic write
+    assert all(not n.endswith(".tmp") for n in os.listdir(tmp_path))
+
+
+def test_stats_and_clear(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_spec(), [1], 0.1, fingerprint="abc")
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert cache.clear() == 1
+    assert cache.stats()["entries"] == 0
+    assert cache.get(_spec(), fingerprint="abc") is None
+
+
+def test_missing_root_is_harmless(tmp_path):
+    cache = ResultCache(str(tmp_path / "nope"))
+    assert cache.get(_spec(), fingerprint="abc") is None
+    assert cache.stats()["entries"] == 0
+    assert cache.clear() == 0
+
+
+def test_package_digest_stable_and_scenario_sensitive():
+    assert package_digest() == package_digest()
+    assert scenario_fingerprint("fig7_tl_sweep") != \
+        scenario_fingerprint("fig8_m_sweep")

@@ -1,0 +1,99 @@
+"""End-to-end CLI coverage for ``repro campaign``."""
+
+import json
+import os
+
+from repro.cli import main
+
+
+def _run(tmp_path, *extra):
+    return main([
+        "campaign", "run", "--figures", "fig7", "--workers", "0", "--fast",
+        "--results-dir", str(tmp_path), *extra,
+    ])
+
+
+def test_campaign_list(capsys):
+    assert main(["campaign", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "fig7", "fig13"):
+        assert name in out
+    assert "total:" in out
+
+
+def test_campaign_run_writes_artifacts(tmp_path, capsys):
+    assert _run(tmp_path) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "hit rate" in out
+    assert (tmp_path / "fig7.txt").exists()
+    assert (tmp_path / "fig7.json").exists()
+    summary = json.loads((tmp_path / "BENCH_campaign.json").read_text())
+    assert summary["failures"] == 0
+    assert summary["tasks_total"] == 7
+    assert summary["cache"]["hits"] == 0
+    assert {t["elapsed_s"] >= 0 for t in summary["tasks"]} == {True}
+    payload = json.loads((tmp_path / "fig7.json").read_text())
+    assert payload["figure"] == "fig7"
+    assert len(payload["record"]) == 7
+
+
+def test_campaign_rerun_hits_cache(tmp_path, capsys):
+    assert _run(tmp_path) == 0
+    first = (tmp_path / "fig7.txt").read_text()
+    assert _run(tmp_path) == 0
+    capsys.readouterr()
+    summary = json.loads((tmp_path / "BENCH_campaign.json").read_text())
+    assert summary["cache"]["hit_rate"] == 1.0
+    # cached artifacts are byte-identical to freshly computed ones
+    assert (tmp_path / "fig7.txt").read_text() == first
+    assert len(list((tmp_path / "cache").glob("*.json"))) == 7
+
+
+def test_campaign_no_cache_skips_store(tmp_path, capsys):
+    assert _run(tmp_path, "--no-cache") == 0
+    capsys.readouterr()
+    assert not (tmp_path / "cache").exists()
+
+
+def test_campaign_injected_failure_exits_nonzero(tmp_path, capsys):
+    rc = _run(tmp_path, "--no-cache", "--retries", "0",
+              "--fail-tasks", "fig7")
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    assert not (tmp_path / "fig7.txt").exists()
+    summary = json.loads((tmp_path / "BENCH_campaign.json").read_text())
+    assert summary["failures"] == 7
+
+
+def test_campaign_unknown_figure_rejected(tmp_path, capsys):
+    rc = main(["campaign", "run", "--figures", "fig99",
+               "--results-dir", str(tmp_path)])
+    assert rc == 2
+    assert "unknown figure" in capsys.readouterr().out
+
+
+def test_campaign_status(tmp_path, capsys):
+    assert _run(tmp_path) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "last campaign" in out
+    assert "cache hit rate" in out
+    assert "entries" in out
+
+
+def test_campaign_status_empty_dir(tmp_path, capsys):
+    assert main(["campaign", "status", "--results-dir",
+                 str(tmp_path / "none")]) == 0
+    assert "no campaign summary" in capsys.readouterr().out
+
+
+def test_results_dir_env_override(tmp_path, monkeypatch):
+    from repro.campaign import artifacts
+
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert artifacts.default_results_dir() == str(tmp_path)
+    assert artifacts.default_cache_dir() == os.path.join(
+        str(tmp_path), "cache")

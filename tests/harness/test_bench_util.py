@@ -1,0 +1,57 @@
+"""Tests for the shared benchmark helpers (benchmarks/bench_util.py)."""
+
+import math
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+import bench_util  # noqa: E402
+
+
+def test_rel_err_basic():
+    assert bench_util.rel_err(11.0, 10.0) == pytest.approx(0.1)
+    assert bench_util.rel_err(9.0, 10.0) == pytest.approx(-0.1)
+    assert bench_util.rel_err(10.0, 10.0) == 0.0
+
+
+def test_rel_err_zero_paper_value_is_nan():
+    assert math.isnan(bench_util.rel_err(0.5, 0.0))
+    assert math.isnan(bench_util.rel_err(0.0, 0))
+
+
+def test_rel_err_nan_renders_as_na():
+    from repro.harness.report import render_table
+
+    text = render_table("T", ["measured", "paper", "err"],
+                        [(0.5, 0.0, bench_util.rel_err(0.5, 0.0))])
+    assert "n/a" in text
+
+
+def test_emit_is_atomic(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(bench_util, "RESULTS_DIR", str(tmp_path))
+    bench_util.emit("demo", "== Demo ==")
+    assert (tmp_path / "demo.txt").read_text() == "== Demo ==\n"
+    assert "== Demo ==" in capsys.readouterr().out
+    # no stray temp files after a successful write
+    assert os.listdir(tmp_path) == ["demo.txt"]
+    # overwrite goes through the same atomic path
+    bench_util.emit("demo", "v2")
+    assert (tmp_path / "demo.txt").read_text() == "v2\n"
+
+
+def test_atomic_write_cleans_up_on_error(tmp_path, monkeypatch):
+    import repro.campaign.artifacts as artifacts
+
+    def boom(src, dst):
+        raise OSError("simulated rename failure")
+
+    monkeypatch.setattr(artifacts.os, "replace", boom)
+    target = tmp_path / "x.txt"
+    with pytest.raises(OSError):
+        artifacts.atomic_write_text(str(target), "data")
+    # neither the target nor the temp file survives the failed write
+    assert list(tmp_path.iterdir()) == []

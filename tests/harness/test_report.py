@@ -1,5 +1,7 @@
 """Unit tests for table rendering."""
 
+import math
+
 import pytest
 
 from repro.harness.report import render_table
@@ -34,3 +36,9 @@ def test_float_formats():
     text = render_table("T", ["x"], [(0.12345,), (12.345,), (0,)])
     assert "0.123" in text
     assert "12.35" in text
+
+
+def test_nan_renders_as_na():
+    text = render_table("T", ["err"], [(math.nan,), (0.5,)])
+    assert "n/a" in text
+    assert "nan" not in text

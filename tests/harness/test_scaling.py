@@ -1,0 +1,24 @@
+"""Tests for the shared duration-scaling helper."""
+
+from repro.harness.scaling import FAST_SCALE, scaled
+
+
+def test_identity_at_full_scale():
+    assert scaled(80, 1.0, 20) == 80
+    assert scaled(20000, 1.0, 500) == 20000
+
+
+def test_fast_scale_shrinks():
+    assert scaled(80, FAST_SCALE, 20) == 20
+    assert scaled(120, FAST_SCALE, 30) == 30
+    assert scaled(20000, FAST_SCALE, 500) == 5000
+
+
+def test_floor_clamps():
+    assert scaled(80, 0.01, 20) == 20
+    assert scaled(100, 0.0, 10) == 10
+
+
+def test_truncates_not_rounds():
+    # matches the original inline max(floor, int(base * scale)) exactly
+    assert scaled(99, 0.5, 1) == 49
