@@ -5,11 +5,15 @@ A task's cache key is ``sha256(spec identity + code fingerprint)``:
 * **spec identity** — the task's canonical JSON (figure, scenario,
   params, seed; see :meth:`~repro.campaign.spec.TaskSpec.canonical`);
 * **code fingerprint** — a hash of the scenario *function's* source
-  combined with a digest of every other ``repro`` source file.
+  combined with a digest of every other ``repro`` source file.  The
+  scenarios module itself contributes its module-level residue (source
+  minus the registered function bodies) to the package digest, so the
+  constants and helpers scenarios share are covered too.
 
 Editing one scenario's body therefore invalidates only that figure's
-tasks, while touching anything in the engine underneath (kernel model,
-NIC, metrics, ...) invalidates everything — the conservative direction.
+tasks, while touching anything shared — the engine underneath (kernel
+model, NIC, metrics, ...) or module-level code in the scenarios file —
+invalidates everything: the conservative direction.
 Entries live as flat JSON files under ``benchmarks/results/cache/`` and
 are written atomically, so an interrupted campaign never leaves a
 truncated entry behind (corrupt files read as misses).
@@ -26,16 +30,46 @@ from typing import Any, Dict, Optional
 
 from repro.campaign.spec import TaskSpec, json_normalize
 
-#: path fragments excluded from the package digest: the scenarios module
-#: is fingerprinted per-function instead, so one scenario edit does not
-#: invalidate every figure's cache.
+#: path fragments excluded from the byte-for-byte package walk: the
+#: scenarios module is split instead — registered function bodies are
+#: fingerprinted per-function (so one scenario edit does not invalidate
+#: every figure's cache) while the module-level residue joins the
+#: package digest via :func:`_scenarios_residue`.
 _PER_SCENARIO_FILES = ("harness" + os.sep + "scenarios.py",)
 
 _package_digest: Optional[str] = None
 
 
+def _scenarios_residue() -> bytes:
+    """The scenarios module's source minus registered function bodies.
+
+    Constants and helpers defined at module level (``LINE``, shared
+    closures, the registry table itself) are dependencies of *every*
+    scenario, so they belong in the package digest — otherwise editing
+    them would silently serve stale cache entries.  A function whose
+    source cannot be located in the module (e.g. a test monkeypatching
+    a toy scenario into ``SCENARIOS``) simply leaves the module text
+    untouched, which errs toward invalidation.
+    """
+    from repro.harness import scenarios as module
+
+    try:
+        src = inspect.getsource(module)
+    except (OSError, TypeError):
+        return b""
+    for fn in module.SCENARIOS.values():
+        try:
+            body = inspect.getsource(fn)
+        except (OSError, TypeError):
+            continue
+        src = src.replace(body, "", 1)
+    return src.encode()
+
+
 def package_digest() -> str:
-    """Digest of every ``repro`` source file except the scenarios module.
+    """Digest of every ``repro`` source file, with the scenarios module
+    contributing only its module-level residue (per-function bodies are
+    hashed separately by :func:`scenario_fingerprint`).
 
     Computed once per process; campaigns are short-lived so there is no
     staleness window worth tracking.
@@ -58,6 +92,7 @@ def package_digest() -> str:
                 h.update(rel.encode())
                 with open(path, "rb") as fh:
                     h.update(fh.read())
+        h.update(_scenarios_residue())
         _package_digest = h.hexdigest()
     return _package_digest
 

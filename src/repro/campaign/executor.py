@@ -12,6 +12,15 @@ with a clean slate: a task that raises or exceeds the per-task timeout
 is retried up to ``retries`` times, always on a freshly created pool —
 a hung or poisoned worker from a previous attempt is never reused (its
 pool is torn down and its processes terminated at the end of the wave).
+Tasks are submitted to the pool at most ``workers`` at a time (the
+backlog stays in the executor's own queue), so a submitted future is
+genuinely executing and its timeout clock is fair — over-submitting
+would let ``ProcessPoolExecutor``'s call-queue buffer mark queued
+futures as running and time them out without them ever executing.  A
+hung worker pins its slot for the rest of the wave; if every slot is
+pinned, the still-queued tasks roll over to the next wave's fresh pool
+uncharged (they never ran), so a systematic hang occupying every worker
+degrades into bounded retries instead of an infinite poll.
 
 With a :class:`~repro.campaign.cache.ResultCache` attached, tasks whose
 content address (spec + code fingerprint) already has an entry are
@@ -22,6 +31,7 @@ from __future__ import annotations
 
 import sys
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -181,10 +191,16 @@ class _Progress:
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Best-effort kill of a pool that may hold hung workers."""
+    """Best-effort kill of a pool that may hold hung workers.
+
+    The process dict must be captured *before* ``shutdown()``, which
+    drops the pool's reference to it — otherwise hung workers survive,
+    their work items never resolve, and the pool's manager thread
+    (non-daemon) blocks interpreter exit forever.
+    """
+    procs = dict(getattr(pool, "_processes", None) or {})
     pool.shutdown(wait=False, cancel_futures=True)
-    procs = getattr(pool, "_processes", None) or {}
-    for proc in list(procs.values()):
+    for proc in procs.values():
         try:
             proc.terminate()
         except Exception:
@@ -208,20 +224,23 @@ def run_tasks(
     number of *re*-attempts after the first failure or timeout.
     """
     t0 = time.perf_counter()
-    outcomes: Dict[Tuple[str, int], TaskOutcome] = {}
+    # everything is keyed by the spec's *position* in ``specs`` — specs
+    # are not required to be unique, and keying by identity would let
+    # duplicates share (and inflate) one attempts counter
+    outcomes: Dict[int, TaskOutcome] = {}
     fingerprints = {s.scenario: scenario_fingerprint(s.scenario)
                     for s in specs} if cache is not None else {}
 
-    pending: List[TaskSpec] = []
-    for spec in specs:
+    pending: List[Tuple[int, TaskSpec]] = []
+    for pos, spec in enumerate(specs):
         entry = cache.get(spec, fingerprints[spec.scenario]) \
             if cache is not None else None
         if entry is not None:
-            outcomes[spec.key] = TaskOutcome(
+            outcomes[pos] = TaskOutcome(
                 spec=spec, record=entry.record, elapsed_s=entry.elapsed_s,
                 from_cache=True)
         else:
-            pending.append(spec)
+            pending.append((pos, spec))
 
     prog = _Progress(progress, len(specs))
 
@@ -231,32 +250,32 @@ def run_tasks(
         failed = sum(1 for o in outcomes.values() if not o.ok)
         return done, cached, failed
 
-    def _store_success(spec: TaskSpec, record: Any, elapsed: float,
-                       attempts: int) -> None:
-        outcomes[spec.key] = TaskOutcome(
+    def _store_success(pos: int, spec: TaskSpec, record: Any,
+                       elapsed: float, attempts: int) -> None:
+        outcomes[pos] = TaskOutcome(
             spec=spec, record=record, elapsed_s=elapsed, attempts=attempts)
         if cache is not None:
             cache.put(spec, record, elapsed, fingerprints[spec.scenario])
 
-    attempts: Dict[Tuple[str, int], int] = {s.key: 0 for s in pending}
+    attempts: Dict[int, int] = {pos: 0 for pos, _ in pending}
 
     if workers <= 0:
-        for spec in pending:
+        for pos, spec in pending:
             while True:
-                attempts[spec.key] += 1
+                attempts[pos] += 1
                 t_task = time.perf_counter()
                 try:
                     record = execute_task(spec, fail_tasks=fail_tasks)
                 except Exception as exc:
-                    if attempts[spec.key] <= retries:
+                    if attempts[pos] <= retries:
                         continue
-                    outcomes[spec.key] = TaskOutcome(
-                        spec=spec, attempts=attempts[spec.key],
+                    outcomes[pos] = TaskOutcome(
+                        spec=spec, attempts=attempts[pos],
                         error=f"{type(exc).__name__}: {exc}")
                     break
-                _store_success(spec, record,
+                _store_success(pos, spec, record,
                                time.perf_counter() - t_task,
-                               attempts[spec.key])
+                               attempts[pos])
                 break
             done, cached, failed = _done_counts()
             prog.update(done, cached, 0, failed)
@@ -264,62 +283,87 @@ def run_tasks(
         todo = pending
         while todo:
             pool = ProcessPoolExecutor(max_workers=min(workers, len(todo)))
-            futures = {pool.submit(_worker, s.to_dict(), fail_tasks): s
-                       for s in todo}
-            waiting = set(futures)
+            queue = deque(todo)
+            slots = min(workers, len(todo))
+            futures: Dict[Any, Tuple[int, TaskSpec]] = {}
             started: Dict[Any, float] = {}
-            next_round: List[TaskSpec] = []
+            waiting: set = set()
+            next_round: List[Tuple[int, TaskSpec]] = []
             hung = False
+
+            def _fill() -> None:
+                # submit from the backlog, never more than one task per
+                # free worker slot: an in-flight future is then really
+                # executing, so its timeout clock starts honestly here
+                # (ProcessPoolExecutor's call-queue buffer would flag
+                # over-submitted futures as running while they sit
+                # behind a hung worker, uncancellable and untimeable)
+                nonlocal slots
+                while slots > 0 and queue:
+                    pos, spec = queue.popleft()
+                    fut = pool.submit(_worker, spec.to_dict(), fail_tasks)
+                    futures[fut] = (pos, spec)
+                    started[fut] = time.monotonic()
+                    waiting.add(fut)
+                    slots -= 1
+
+            _fill()
             while waiting:
                 done_set, _ = wait(waiting, timeout=_POLL_S,
                                    return_when=FIRST_COMPLETED)
                 now = time.monotonic()
                 for fut in done_set:
                     waiting.discard(fut)
-                    spec = futures[fut]
-                    attempts[spec.key] += 1
+                    slots += 1
+                    pos, spec = futures[fut]
+                    attempts[pos] += 1
                     try:
                         record, elapsed = fut.result()
                     except Exception as exc:
-                        if attempts[spec.key] <= retries:
-                            next_round.append(spec)
+                        if attempts[pos] <= retries:
+                            next_round.append((pos, spec))
                         else:
-                            outcomes[spec.key] = TaskOutcome(
-                                spec=spec, attempts=attempts[spec.key],
+                            outcomes[pos] = TaskOutcome(
+                                spec=spec, attempts=attempts[pos],
                                 error=f"{type(exc).__name__}: {exc}")
                         continue
-                    _store_success(spec, record, elapsed,
-                                   attempts[spec.key])
+                    _store_success(pos, spec, record, elapsed,
+                                   attempts[pos])
                 for fut in list(waiting):
-                    if not fut.running():
-                        continue
-                    started.setdefault(fut, now)
                     if now - started[fut] <= timeout_s:
                         continue
-                    # stop waiting; the worker underneath may be hung
-                    # and is dealt with when the wave's pool is torn down
+                    # stop waiting; the worker underneath may be hung,
+                    # so its slot stays pinned for the rest of the wave
+                    # and its process is dealt with at pool teardown
                     waiting.discard(fut)
                     hung = True
-                    spec = futures[fut]
-                    attempts[spec.key] += 1
-                    if attempts[spec.key] <= retries:
-                        next_round.append(spec)
+                    pos, spec = futures[fut]
+                    attempts[pos] += 1
+                    if attempts[pos] <= retries:
+                        next_round.append((pos, spec))
                     else:
-                        outcomes[spec.key] = TaskOutcome(
-                            spec=spec, attempts=attempts[spec.key],
+                        outcomes[pos] = TaskOutcome(
+                            spec=spec, attempts=attempts[pos],
                             error=f"timeout after {timeout_s:.0f}s")
+                _fill()
                 done, cached, failed = _done_counts()
                 prog.update(done, cached, len(waiting), failed)
+            # tasks still queued once every slot is pinned by a hung
+            # worker can never start this wave: roll them over to the
+            # next wave's fresh pool (never submitted, so no attempt is
+            # charged).  Every submitted future completes or times out
+            # within timeout_s, so the wave loop always drains.
+            next_round.extend(queue)
             if hung:
                 _terminate_pool(pool)
             else:
                 pool.shutdown(wait=True, cancel_futures=True)
             # retries run on the next wave's freshly created pool
-            todo = sorted(next_round, key=lambda s: s.key)
+            todo = sorted(next_round, key=lambda e: e[0])
 
     done, cached, failed = _done_counts()
     prog.finish(done, cached, failed, time.perf_counter() - t0)
-    return [outcomes[s.key] for s in specs]
+    return [outcomes[pos] for pos in range(len(specs))]
 
 
 def run_campaign(
@@ -344,7 +388,9 @@ def run_campaign(
     from repro.campaign.registry import FIGURES
 
     registry = registry if registry is not None else FIGURES
-    names = tuple(figures) if figures else tuple(registry)
+    # dedupe, first occurrence wins: `--figures fig7,fig7` must not run
+    # (and account) the same sweep twice
+    names = tuple(dict.fromkeys(figures)) if figures else tuple(registry)
     specs: List[TaskSpec] = []
     for name in names:
         if name not in registry:

@@ -99,3 +99,16 @@ def test_package_digest_stable_and_scenario_sensitive():
     assert package_digest() == package_digest()
     assert scenario_fingerprint("fig7_tl_sweep") != \
         scenario_fingerprint("fig8_m_sweep")
+
+
+def test_scenarios_residue_covers_module_level_code():
+    # module-level code shared by scenarios (constants like LINE, the
+    # registry table) must participate in the digest, while registered
+    # function bodies are stripped (they are fingerprinted per-function)
+    from repro.campaign.cache import _scenarios_residue
+
+    residue = _scenarios_residue().decode()
+    assert "LINE = " in residue
+    assert "SCENARIOS: Dict" in residue
+    assert "def fig7_tl_sweep(" not in residue
+    assert "def table1_sleep_precision(" not in residue

@@ -150,6 +150,43 @@ def test_timeout_is_an_error_after_retries(toy_registry):
     assert "timeout" in outcome.error
 
 
+@fork_only
+def test_queued_tasks_survive_hung_worker(toy_registry):
+    # one worker, a hung task in front: the queued tasks can never
+    # start in that wave, so they must be cancelled and rerun on the
+    # next wave's fresh pool instead of being polled forever
+    specs = [
+        TaskSpec(figure="toy", scenario="sleepy_scenario",
+                 params={"xs": (1,), "duration_ms": 1}, index=0),
+        TaskSpec(figure="toy", scenario="toy_scenario",
+                 params={"xs": (2,), "duration_ms": 1}, index=1),
+        TaskSpec(figure="toy", scenario="toy_scenario",
+                 params={"xs": (3,), "duration_ms": 1}, index=2),
+    ]
+    hung, ok1, ok2 = run_tasks(specs, workers=1, timeout_s=0.5, retries=0)
+    assert not hung.ok and "timeout" in hung.error
+    assert ok1.ok and ok1.record == [[2, 2 * 2020, 1]]
+    assert ok2.ok and ok2.record == [[3, 3 * 2020, 1]]
+    # cancellation is not an attempt — the queued tasks ran exactly once
+    assert ok1.attempts == 1 and ok2.attempts == 1
+
+
+def test_duplicate_figures_are_deduped(toy_registry):
+    result = run_campaign(["toy", "toy"], workers=0, registry=toy_registry)
+    assert result.figures == ("toy",)
+    assert len(result.outcomes) == 3
+    assert all(o.attempts == 1 for o in result.outcomes)
+
+
+def test_duplicate_specs_do_not_share_attempts(toy_registry):
+    spec = TaskSpec(figure="toy", scenario="toy_scenario",
+                    params={"xs": (1,), "duration_ms": 1})
+    first, second = run_tasks([spec, spec], workers=0)
+    assert first.ok and second.ok
+    assert first.attempts == 1 and second.attempts == 1
+    assert first.record == second.record
+
+
 def test_summary_shape(toy_registry):
     result = run_campaign(["toy"], workers=0, registry=toy_registry)
     summary = result.summary()
