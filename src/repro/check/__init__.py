@@ -1,0 +1,44 @@
+"""repro.check — runtime invariant monitors + model-vs-sim oracle.
+
+Two complementary conformance layers (docs/CHECK.md):
+
+* :class:`~repro.check.registry.CheckRegistry` — cheap runtime
+  monitors hooked into the simulator core, the kernel model, the
+  Metronome trylocks, and the NIC rings.  Install one with
+  :meth:`Machine.enable_checks` *before* building a workload; every
+  hook is dormant (``machine.checks is None``) otherwise, so runs
+  without a registry are byte-identical to pre-check builds.
+* :mod:`repro.check.oracle` — a differential oracle sweeping a
+  (T_S, T_L, M, load) lattice and statistically comparing the simulator
+  against the closed forms of :mod:`repro.core.model` under a
+  declarative :class:`~repro.check.oracle.TolerancePolicy`.
+
+Ships as ``repro check [--monitors|--oracle|--all]``.
+"""
+
+from repro.check.oracle import (
+    DEFAULT_LATTICE,
+    OracleReport,
+    PointReport,
+    TolerancePolicy,
+    check_oracle_point,
+    evaluate_point,
+    run_oracle,
+)
+from repro.check.registry import MONITORS, CheckRegistry, Violation
+from repro.check.runner import MonitorReport, run_monitors
+
+__all__ = [
+    "MONITORS",
+    "CheckRegistry",
+    "Violation",
+    "TolerancePolicy",
+    "DEFAULT_LATTICE",
+    "PointReport",
+    "OracleReport",
+    "check_oracle_point",
+    "evaluate_point",
+    "run_oracle",
+    "MonitorReport",
+    "run_monitors",
+]

@@ -1,0 +1,453 @@
+"""The model-vs-simulation differential oracle (docs/CHECK.md part 2).
+
+Sweeps a (T_S, T_L, M, load) lattice, runs the simulator at each point
+with fixed timeouts and Poisson traffic, and statistically compares the
+measurement against the closed forms of :mod:`repro.core.model`:
+
+* **mean-vacation** — E[V] against the Appendix C exact integral
+  :func:`~repro.core.model.mean_vacation_general_exact`, evaluated at
+  the *measured* primary fraction p, so one formula covers the whole
+  load range;
+* **vacation-cdf** — a Kolmogorov–Smirnov distance between the *early
+  endings* (vacations shorter than the raw T_S) and the conditional
+  race CDF from :func:`~repro.core.model.cdf_vacation_general`.  The
+  unconditional distribution has an atom at the primary's effective
+  timeout, smeared by wake-pipeline jitter; a full-range KS against a
+  point atom is hypersensitive to the atom's exact location and says
+  nothing about the model, so the oracle tests the continuous part —
+  the decorrelation (uniform wake phases) claim — and leaves race
+  *intensity* to the backup-success check.  High-load points only:
+  Poisson arrivals are what decorrelate the wake phases; fixed-timeout
+  low-load runs phase-lock;
+* **busy-fraction** — E[B] against eq. 3 driven by the measured mean
+  vacation and the service-rate load estimate (skipped near
+  saturation, where the M/G/1 stability assumption breaks);
+* **backup-success** — the thread-switch fraction between consecutive
+  cycles against eq. 7 (high-load points only).
+
+The model describes the *ideal* Metronome; the simulation adds the wake
+pipeline (IRQ latency, C-state exit, dispatch), which inflates every
+sleep by a few microseconds.  Rather than subtracting an offset from the
+measurement, the oracle evaluates the model at the **effective
+timeouts** ``T_S + overhead`` / ``T_L + overhead`` — at low load this
+correctly predicts E[V] = (T_S+overhead)/M, which an additive output
+correction does not.
+
+All thresholds live in one declarative :class:`TolerancePolicy`; the
+lattice runs through the campaign executor so points are cached and can
+fan out across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import config
+from repro.core import model
+from repro.sim.units import US
+
+#: the default sweep: 2 × 2 × 3 × 2 = 24 points spanning short/long
+#: T_S, tight/loose T_L, small/large thread groups, and both load
+#: regimes (line rate ρ→1, 200 kpps ρ→0)
+DEFAULT_LATTICE: Tuple[Dict, ...] = tuple(
+    {"ts_us": ts_us, "tl_us": tl_us, "m": m, "rate_pps": rate}
+    for ts_us in (10, 20)
+    for tl_us in (100, 500)
+    for m in (2, 3, 5)
+    for rate in (config.LINE_RATE_PPS, 200_000)
+)
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Every threshold the oracle applies, in one declarative record.
+
+    The defaults are calibrated against the shipped simulator (see
+    tests/check/test_oracle.py); tighten them to detect drift, or load
+    a custom policy from JSON via ``repro check --policy``.
+    """
+
+    #: wake-pipeline cost added to both timeouts before evaluating the
+    #: model (IRQ latency + handler + dispatch; empirically ~6 µs for
+    #: hr_sleep on the simulated hardware, cf. the Table 1 bench)
+    wake_overhead_ns: float = 6_000.0
+    #: points with fewer renewal cycles than this are skipped outright
+    #: (statistics would be noise)
+    min_cycles: int = 200
+    #: measured ρ at or above this counts as "high load" — the regime
+    #: where eq. 5/eq. 7 (one primary, M−1 decorrelated backups) apply
+    #: (0.4, not 0.5: stable line-rate points measure ρ ≈ 0.50 and must
+    #: not straddle the gate)
+    high_load_rho: float = 0.4
+    #: mean-vacation band: |measured − model| ≤ max(abs, rel·model)
+    mean_rel_tol: float = 0.30
+    mean_abs_ns: float = 6_000.0
+    #: Kolmogorov–Smirnov cap for the conditional early-ending CDF at
+    #: high load, and the minimum early sample that makes it meaningful.
+    #: The cap is deliberately coarse: a *displaced* primary's pending
+    #: wake is phase-correlated with the cycle that displaced it (it
+    #: lands late in the following vacation), so the early endings mix
+    #: a uniform backup race with a correlated component the
+    #: decorrelation model does not describe.  Observed KS at seed 17
+    #: peaks near 0.42; 0.5 still flags structural drift (a point mass
+    #: or a missing race scores ≥ 0.7).
+    ks_max: float = 0.5
+    ks_min_samples: int = 30
+    #: busy-fraction band, same max(abs, rel·model) shape
+    busy_rel_tol: float = 0.60
+    busy_abs_ns: float = 4_000.0
+    #: skip the busy check when the service-rate load estimate exceeds
+    #: this (eq. 3 diverges as ρ→1 and the sim saturates instead)
+    busy_rho_cap: float = 0.90
+    #: backup-success window: lo·model − ε ≤ measured ≤ hi·model + ε
+    backup_lo_factor: float = 0.6
+    backup_hi_factor: float = 2.5
+    backup_abs_slack: float = 0.08
+
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TolerancePolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown tolerance key(s) {unknown}; known: {sorted(known)}"
+            )
+        return replace(cls(), **data)
+
+
+# ---------------------------------------------------------------------- #
+# the per-point measurement (a campaign scenario)
+# ---------------------------------------------------------------------- #
+
+def check_oracle_point(
+    ts_us: int = 10,
+    tl_us: int = 500,
+    m: int = 3,
+    rate_pps: int = config.LINE_RATE_PPS,
+    duration_ms: int = 40,
+    max_samples: int = 4_000,
+    seed: int = 17,
+) -> Dict:
+    """Measure one lattice point; returns a JSON-friendly record.
+
+    Registered in :data:`repro.harness.scenarios.SCENARIOS` so the
+    campaign executor can run, cache, and parallelize lattice points
+    like any figure task.  The run itself is unmonitored — the oracle
+    judges distributions, the monitored suite judges invariants.
+    """
+    from repro.core.tuning import FixedTuner
+    from repro.harness.experiment import run_metronome
+    from repro.nic.traffic import PoissonProcess
+    from repro.sim.rng import RandomStreams
+
+    process = PoissonProcess(
+        int(rate_pps), RandomStreams(seed).numpy_stream("oracle")
+    )
+    res = run_metronome(
+        process,
+        duration_ms=duration_ms,
+        cfg=config.SimConfig(seed=seed, os_noise=False),
+        tuner=FixedTuner(ts_ns=ts_us * US, tl_ns=tl_us * US),
+        num_threads=m,
+    )
+    records = res.group.cycle_stats().records
+    vacations = [r.vacation_ns for r in records]
+    stride = max(1, len(vacations) // max_samples) if vacations else 1
+    switches = sum(
+        1 for a, b in zip(records, records[1:])
+        if a.thread_name != b.thread_name
+    )
+    total_vac = sum(vacations)
+    total_busy = sum(r.busy_ns for r in records)
+    stats = res.group.thread_stats
+    return {
+        "ts_us": ts_us,
+        "tl_us": tl_us,
+        "m": m,
+        "rate_pps": int(rate_pps),
+        "duration_ms": duration_ms,
+        "seed": seed,
+        "cycles": len(records),
+        "total_vacation_ns": total_vac,
+        "total_busy_ns": total_busy,
+        "vacation_sample_ns": vacations[::stride],
+        "switches": switches,
+        "primary_rounds": sum(s.primary_rounds for s in stats),
+        "backup_rounds": sum(s.backup_rounds for s in stats),
+        "offered": res.offered,
+        "delivered": res.delivered,
+        "drops": res.drops,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# evaluation
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One statistical comparison at one lattice point."""
+
+    name: str          # mean-vacation | vacation-cdf | busy-fraction | ...
+    status: str        # "pass" | "fail" | "skip"
+    measured: float
+    expected: float
+    detail: str
+
+    def format(self) -> str:
+        return (f"{self.name}: {self.status} "
+                f"(measured {self.measured:.4g}, model {self.expected:.4g}"
+                f"{'; ' + self.detail if self.detail else ''})")
+
+
+@dataclass(frozen=True)
+class PointReport:
+    """Verdicts for one lattice point."""
+
+    params: Dict
+    cycles: int
+    rho_meas: float
+    p_meas: float
+    checks: Tuple[CheckOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.status != "fail" for c in self.checks)
+
+    def label(self) -> str:
+        p = self.params
+        return (f"ts={p['ts_us']}us tl={p['tl_us']}us m={p['m']} "
+                f"rate={p['rate_pps'] / 1e6:.2f}Mpps")
+
+    def format(self) -> str:
+        head = (f"{'ok ' if self.ok else 'FAIL'} {self.label()}  "
+                f"[{self.cycles} cycles, rho={self.rho_meas:.2f}, "
+                f"p={self.p_meas:.2f}]")
+        lines = [head]
+        for c in self.checks:
+            if c.status != "pass":
+                lines.append("    " + c.format())
+        return "\n".join(lines)
+
+
+def _ks_distance(sample: Sequence[float], cdf) -> float:
+    """Two-sided KS statistic of ``sample`` against continuous ``cdf``."""
+    xs = sorted(sample)
+    n = len(xs)
+    d = 0.0
+    for i, x in enumerate(xs):
+        f = cdf(x)
+        d = max(d, f - i / n, (i + 1) / n - f)
+    return d
+
+
+def evaluate_point(
+    data: Dict, policy: Optional[TolerancePolicy] = None
+) -> PointReport:
+    """Judge one :func:`check_oracle_point` record against the model."""
+    policy = policy or TolerancePolicy()
+    ts = data["ts_us"] * float(US)
+    tl = data["tl_us"] * float(US)
+    m = data["m"]
+    cycles = data["cycles"]
+    params = {k: data[k] for k in ("ts_us", "tl_us", "m", "rate_pps")}
+
+    total_vac = data["total_vacation_ns"]
+    total_busy = data["total_busy_ns"]
+    rho_meas = (
+        total_busy / (total_busy + total_vac)
+        if total_busy + total_vac > 0 else 0.0
+    )
+
+    # the model is evaluated at the effective timeouts the threads
+    # actually realize once the wake pipeline is paid
+    ts_eff = ts + policy.wake_overhead_ns
+    tl_eff = tl + policy.wake_overhead_ns
+
+    # the model's p is the probability a sleeping competitor, observed
+    # at a random instant, is in a T_S sleep — a *time*-stationary
+    # quantity.  Counting rounds would bias it badly (primary rounds
+    # recur every ~T_S, backups every ~T_L), so weight each round type
+    # by the time it spends asleep.
+    p_time = data["primary_rounds"] * ts_eff
+    b_time = data["backup_rounds"] * tl_eff
+    p_meas = p_time / (p_time + b_time) if p_time + b_time else 1.0
+
+    if cycles < policy.min_cycles:
+        skip = CheckOutcome(
+            "sample-size", "skip", cycles, policy.min_cycles,
+            "too few renewal cycles for statistics",
+        )
+        return PointReport(params, cycles, rho_meas, p_meas, (skip,))
+
+    high_load = rho_meas >= policy.high_load_rho
+    checks: List[CheckOutcome] = []
+
+    # -- mean vacation: exact integral at the measured primary mix ----- #
+    mean_meas = total_vac / cycles
+    mean_model = model.mean_vacation_general_exact(ts_eff, tl_eff, m, p_meas)
+    tol = max(policy.mean_abs_ns, policy.mean_rel_tol * mean_model)
+    checks.append(CheckOutcome(
+        "mean-vacation",
+        "pass" if abs(mean_meas - mean_model) <= tol else "fail",
+        mean_meas, mean_model, f"tolerance ±{tol:.0f} ns",
+    ))
+
+    # -- vacation CDF (KS on the early endings), high load only -------- #
+    # vacations below the raw T_S ended because a competitor woke — the
+    # continuous part of the distribution; the atom (the primary's own
+    # wake, smeared by pipeline jitter) always sits above ts and is
+    # excluded: KS against a smeared point mass measures the jitter,
+    # not the model
+    early = [x for x in data["vacation_sample_ns"] if x < ts]
+    g_cut = model.cdf_vacation_general(ts * (1 - 1e-12), ts_eff, tl_eff,
+                                       m, p_meas)
+    if high_load and len(early) >= policy.ks_min_samples and g_cut > 0:
+        ks = _ks_distance(
+            early,
+            lambda x: model.cdf_vacation_general(
+                x, ts_eff, tl_eff, m, p_meas
+            ) / g_cut,
+        )
+        checks.append(CheckOutcome(
+            "vacation-cdf",
+            "pass" if ks <= policy.ks_max else "fail",
+            ks, policy.ks_max,
+            f"conditional KS over {len(early)} early endings",
+        ))
+    elif high_load:
+        checks.append(CheckOutcome(
+            "vacation-cdf", "skip", len(early), policy.ks_min_samples,
+            "too few early endings for a shape test",
+        ))
+    else:
+        checks.append(CheckOutcome(
+            "vacation-cdf", "skip", rho_meas, policy.high_load_rho,
+            "low-load point: wake phases phase-lock, no continuous CDF",
+        ))
+
+    # -- busy fraction: eq. 3 with the service-rate load estimate ------ #
+    delivered = data["delivered"]
+    rho_hat = (
+        data["rate_pps"] * (total_busy / delivered) / 1e9
+        if delivered else 1.0
+    )
+    if rho_hat < policy.busy_rho_cap:
+        busy_meas = total_busy / cycles
+        busy_model = model.busy_given_vacation(mean_meas, rho_hat)
+        tol = max(policy.busy_abs_ns, policy.busy_rel_tol * busy_model)
+        checks.append(CheckOutcome(
+            "busy-fraction",
+            "pass" if abs(busy_meas - busy_model) <= tol else "fail",
+            busy_meas, busy_model,
+            f"rho_hat={rho_hat:.3f}, tolerance ±{tol:.0f} ns",
+        ))
+    else:
+        checks.append(CheckOutcome(
+            "busy-fraction", "skip", rho_hat, policy.busy_rho_cap,
+            "near saturation: eq. 3 diverges",
+        ))
+
+    # -- backup-success probability (eq. 7), high load only ------------ #
+    if high_load and m >= 2 and cycles >= 2:
+        switch_frac = data["switches"] / (cycles - 1)
+        pb = model.prob_backup_success(ts_eff, tl_eff, m)
+        lo = pb * policy.backup_lo_factor - policy.backup_abs_slack
+        hi = pb * policy.backup_hi_factor + policy.backup_abs_slack
+        checks.append(CheckOutcome(
+            "backup-success",
+            "pass" if lo <= switch_frac <= hi else "fail",
+            switch_frac, pb, f"window [{lo:.3f}, {hi:.3f}]",
+        ))
+    else:
+        checks.append(CheckOutcome(
+            "backup-success", "skip", rho_meas, policy.high_load_rho,
+            "low-load point: no stable primary to displace",
+        ))
+
+    return PointReport(params, cycles, rho_meas, p_meas, tuple(checks))
+
+
+# ---------------------------------------------------------------------- #
+# the sweep
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Verdicts for a whole lattice sweep."""
+
+    points: Tuple[PointReport, ...]
+    policy: TolerancePolicy
+    errors: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and all(p.ok for p in self.points)
+
+    @property
+    def failures(self) -> List[PointReport]:
+        return [p for p in self.points if not p.ok]
+
+    def render(self) -> str:
+        n_checks = sum(
+            1 for p in self.points for c in p.checks if c.status != "skip"
+        )
+        lines = [
+            f"model-vs-sim oracle: {len(self.points)} lattice points, "
+            f"{n_checks} checks, "
+            f"{len(self.failures)} failing point(s)"
+        ]
+        for p in self.points:
+            lines.append("  " + p.format())
+        for err in self.errors:
+            lines.append(f"  ERROR {err}")
+        lines.append("verdict: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def run_oracle(
+    lattice: Optional[Sequence[Dict]] = None,
+    policy: Optional[TolerancePolicy] = None,
+    duration_ms: int = 40,
+    seed: int = 17,
+    workers: int = 0,
+    cache=None,
+    progress: bool = False,
+) -> OracleReport:
+    """Sweep the lattice through the campaign executor and judge it.
+
+    ``workers=0`` runs in-process (right for single-core hosts);
+    ``cache`` accepts a :class:`repro.campaign.cache.ResultCache` so
+    repeated sweeps only re-run points whose code changed.
+    """
+    from repro.campaign.executor import run_tasks
+    from repro.campaign.spec import TaskSpec
+
+    lattice = list(DEFAULT_LATTICE if lattice is None else lattice)
+    policy = policy or TolerancePolicy()
+    specs = [
+        TaskSpec(
+            figure="check_oracle",
+            scenario="check_oracle_point",
+            params={**point, "duration_ms": duration_ms},
+            seed=seed,
+            index=i,
+        )
+        for i, point in enumerate(lattice)
+    ]
+    outcomes = run_tasks(
+        specs, workers=workers, cache=cache, timeout_s=600.0,
+        retries=1, progress=progress,
+    )
+    points: List[PointReport] = []
+    errors: List[str] = []
+    for outcome in outcomes:
+        if outcome.ok:
+            points.append(evaluate_point(outcome.record, policy))
+        else:
+            errors.append(f"{outcome.spec.label()}: {outcome.error}")
+    return OracleReport(tuple(points), policy, tuple(errors))

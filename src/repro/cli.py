@@ -335,6 +335,45 @@ def _chaos_cmd(args) -> int:
     return 1 if failures else 0
 
 
+def _check_cmd(args) -> int:
+    """``repro check``: invariant monitors + model-vs-sim oracle."""
+    import json
+
+    from repro.check.oracle import TolerancePolicy, run_oracle
+    from repro.check.runner import run_monitors
+
+    do_monitors = args.all or args.monitors or not args.oracle
+    do_oracle = args.all or args.oracle or not args.monitors
+    failed = False
+    if do_monitors:
+        rep = run_monitors(seed=args.seed, fast=args.fast)
+        print(rep.render())
+        failed |= not rep.ok
+    if do_oracle:
+        policy = None
+        if args.policy:
+            with open(args.policy) as fh:
+                policy = TolerancePolicy.from_dict(json.load(fh))
+        cache = None
+        if args.cache:
+            from repro import campaign as camp
+
+            results_dir = camp.default_results_dir()
+            cache = camp.ResultCache(camp.default_cache_dir(results_dir))
+        orep = run_oracle(
+            policy=policy,
+            duration_ms=12 if args.fast else 40,
+            seed=args.seed,
+            workers=args.workers,
+            cache=cache,
+        )
+        if do_monitors:
+            print()
+        print(orep.render())
+        failed |= not orep.ok
+    return 1 if failed else 0
+
+
 def _campaign_cmd(args) -> int:
     """``repro campaign``: sharded, cached sweeps (docs/CAMPAIGN.md)."""
     from repro import campaign as camp
@@ -528,6 +567,25 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--seed", type=int, action="append", default=None,
                     help="seed (repeatable; default 7, 42, 2020)")
     ch.add_argument("--duration-ms", type=int, default=40)
+    ck = sub.add_parser(
+        "check",
+        help="conformance: runtime invariant monitors + model-vs-sim oracle")
+    ck.add_argument("--monitors", action="store_true",
+                    help="run only the monitored scenario suite")
+    ck.add_argument("--oracle", action="store_true",
+                    help="run only the model-vs-sim lattice oracle")
+    ck.add_argument("--all", action="store_true",
+                    help="run both (the default when no selector is given)")
+    ck.add_argument("--fast", action="store_true",
+                    help="shorter simulated durations")
+    ck.add_argument("--seed", type=int, default=17,
+                    help="simulation seed (default 17, the xval seed)")
+    ck.add_argument("--workers", type=int, default=0,
+                    help="oracle lattice worker processes (0 = in-process)")
+    ck.add_argument("--policy", default=None,
+                    help="JSON TolerancePolicy file overriding the defaults")
+    ck.add_argument("--cache", action="store_true",
+                    help="reuse the campaign result cache for lattice points")
     ca = sub.add_parser(
         "campaign",
         help="sharded benchmark sweeps with result caching")
@@ -583,6 +641,8 @@ def main(argv: List[str] = None) -> int:
         return _trace_cmd(args)
     if args.command == "chaos":
         return _chaos_cmd(args)
+    if args.command == "check":
+        return _check_cmd(args)
     if args.command == "campaign":
         return _campaign_cmd(args)
     if args.command == "quickstart":

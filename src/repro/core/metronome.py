@@ -87,7 +87,8 @@ class _SharedQueue:
 
     def __init__(self, machine: Machine, queue: RxQueue, tx_batch: int):
         self.queue = queue
-        self.lock = TryLock(name=f"rxq{queue.index}", tracer=machine.tracer)
+        self.lock = TryLock(name=f"rxq{queue.index}", tracer=machine.tracer,
+                            checks=machine.checks)
         self.tracker = QueueCycleTracker(start_ns=machine.sim.now)
         self.cycles = CycleStats()
         self.txbuf = TxBuffer(machine.sim, batch_threshold=tx_batch)

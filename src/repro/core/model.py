@@ -83,6 +83,30 @@ def pdf_vacation(x: float, ts: float, tl: float, m: int) -> float:
     return (m - 1) / tl * (1.0 - x / tl) ** (m - 2)
 
 
+def cdf_vacation_general(
+    x: float, ts: float, tl: float, m: int, p: float
+) -> float:
+    """P(V ≤ x) in the mixed regime — the Appendix C integrand.
+
+    Each of the M−1 competitors is primary (wake uniform over T_S) with
+    probability p, backup (uniform over T_L) otherwise, and the serving
+    thread's own timeout truncates the race at T_S:
+
+        P(V > x) = (1 − p·x/T_S − (1−p)·x/T_L)^(M−1)  for x < T_S.
+
+    At p = 0 this reduces to eq. 5; integrating the survival over
+    (0, T_S] recovers :func:`mean_vacation_general_exact`.
+    """
+    _check_common(ts, tl, m)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p={p} outside [0,1]")
+    if x < 0:
+        return 0.0
+    if x >= ts:
+        return 1.0
+    return 1.0 - (1.0 - p * x / ts - (1.0 - p) * x / tl) ** (m - 1)
+
+
 def vacation_atom_at_ts(ts: float, tl: float, m: int) -> float:
     """P(V = T_S): probability no backup precedes the primary."""
     _check_common(ts, tl, m)

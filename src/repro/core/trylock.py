@@ -24,9 +24,13 @@ class TryLock:
     object (``tid``/``name``/``core``) for the event to be attributed.
     """
 
-    def __init__(self, name: str = "rxq-lock", tracer=None):
+    def __init__(self, name: str = "rxq-lock", tracer=None, checks=None):
         self.name = name
         self.tracer = NULL_TRACER if tracer is None else tracer
+        #: optional repro.check registry; an independent witness of the
+        #: lock's state transitions (the lock's own raises catch caller
+        #: misuse, the monitor catches bookkeeping corruption)
+        self.checks = checks
         self.owner: Optional[object] = None
         self.acquisitions = 0
         #: failed acquisition attempts ("busy tries", Figures 7-8)
@@ -41,12 +45,16 @@ class TryLock:
             self.acquisitions += 1
             if self.tracer.enabled:
                 self.tracer.trylock(owner, self.name, acquired=True)
+            if self.checks is not None:
+                self.checks.on_lock_acquire(self, owner)
             return True
         if self.owner is owner:
             raise RuntimeError(f"{owner!r} re-acquiring lock it already holds")
         self.busy_tries += 1
         if self.tracer.enabled:
             self.tracer.trylock(owner, self.name, acquired=False)
+        if self.checks is not None:
+            self.checks.on_lock_busy(self, owner)
         return False
 
     def release(self, owner: object) -> None:
@@ -55,6 +63,8 @@ class TryLock:
             raise RuntimeError(
                 f"{owner!r} releasing lock owned by {self.owner!r}"
             )
+        if self.checks is not None:
+            self.checks.on_lock_release(self, owner)
         self.owner = None
 
     @property

@@ -57,6 +57,10 @@ class ChaosResult:
     fault_activity: Dict[str, tuple]
     #: human-readable invariant violations (empty → scenario survived)
     violations: List[str] = field(default_factory=list)
+    #: formatted ``repro.check`` monitor violations (only populated when
+    #: the run was made with ``checks=True``); kept separate from the
+    #: chaos invariants above — ``ok`` judges survival, not conformance
+    monitor_violations: List[str] = field(default_factory=list)
     result: Optional["MetronomeRunResult"] = field(default=None, repr=False)
 
     @property
@@ -73,6 +77,7 @@ def run_chaos(
     trace: bool = False,
     watchdog: Optional[WatchdogConfig] = None,
     keep_result: bool = False,
+    checks: bool = False,
 ) -> ChaosResult:
     """Run one adversarial scenario and evaluate its invariants."""
     # imported here, not at module top: the harness itself imports
@@ -99,10 +104,14 @@ def run_chaos(
         trace=trace,
         fault_plan=plan,
         watchdog=watchdog,
+        checks=checks,
     )
     group = result.group
     machine = result.machine
     engine = machine.faults
+    monitor_violations: List[str] = []
+    if machine.checks is not None:
+        monitor_violations = [v.format() for v in machine.checks.violations]
 
     violations: List[str] = []
     loss = result.loss_fraction
@@ -148,5 +157,6 @@ def run_chaos(
         overload_entries=tuner.overload_entries,
         fault_activity=activity,
         violations=violations,
+        monitor_violations=monitor_violations,
         result=result if keep_result else None,
     )

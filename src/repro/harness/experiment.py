@@ -131,6 +131,7 @@ def run_metronome(
     fault_plan: Optional[FaultPlan] = None,
     watchdog: Optional[WatchdogConfig] = None,
     rotate_scan: bool = True,
+    checks: bool = False,
 ) -> MetronomeRunResult:
     """Run Metronome over one shared Rx queue.
 
@@ -145,11 +146,17 @@ def run_metronome(
     in a :class:`~repro.nic.traffic.FaultableProcess`); ``watchdog``
     enables the group's starvation watchdog — together they form the
     chaos harness's adversarial setup (see :mod:`repro.faults.chaos`).
+
+    ``checks=True`` enables the :mod:`repro.check` invariant monitors
+    (zero-perturbation, like tracing) and runs their quiesce pass after
+    the run; read violations back via ``result.machine.checks``.
     """
     cfg = cfg or config.SimConfig()
     machine = Machine(cfg)
     if trace:
         machine.enable_tracing()
+    if checks:
+        machine.enable_checks()
     process = as_arrival_process(rate)
     if fault_plan is not None:
         engine = machine.install_faults(fault_plan)
@@ -203,6 +210,8 @@ def run_metronome(
     busy1 = exec_busy()
 
     queue.sync()
+    if machine.checks is not None:
+        machine.checks.quiesce(consumed=group.total_packets)
     cs = group.cycle_stats()
     duration = duration_ms * MS
     return MetronomeRunResult(
@@ -236,12 +245,15 @@ def run_dpdk(
     ring_size: Optional[int] = None,
     setup_hook: Optional[Callable[[Machine, PollModeLcore], None]] = None,
     trace: bool = False,
+    checks: bool = False,
 ) -> DpdkRunResult:
     """Run the static continuous-polling DPDK baseline (one lcore)."""
     cfg = cfg or config.SimConfig()
     machine = Machine(cfg)
     if trace:
         machine.enable_tracing()
+    if checks:
+        machine.enable_checks()
     process = as_arrival_process(rate)
     queue = _make_queue(
         machine, process, ring_size or cfg.rx_ring_size, cfg.latency_sample_every
@@ -256,6 +268,8 @@ def run_dpdk(
     e0 = machine.energy_joules()
     machine.run(until=duration_ms * MS)
     queue.sync()
+    if machine.checks is not None:
+        machine.checks.quiesce(consumed=lcore.rx_packets)
     return DpdkRunResult(
         duration_ns=duration_ms * MS,
         offered=queue.arrived_total,
@@ -279,6 +293,7 @@ def run_xdp(
     ring_size: Optional[int] = None,
     prewarmed: bool = True,
     trace: bool = False,
+    checks: bool = False,
 ) -> XdpRunResult:
     """Run the XDP baseline: ``num_queues`` queues, 1:1 queue-to-core.
 
@@ -292,6 +307,8 @@ def run_xdp(
     machine = Machine(cfg)
     if trace:
         machine.enable_tracing()
+    if checks:
+        machine.enable_checks()
     per_queue = int(rate_pps) // num_queues
     processes = [CbrProcess(per_queue) for _ in range(num_queues)]
     port = NicPort(
@@ -313,6 +330,10 @@ def run_xdp(
     driver.start()
     e0 = machine.energy_joules()
     machine.run(until=duration_ms * MS)
+    if machine.checks is not None:
+        for q in driver.queues:
+            q.queue.sync()
+        machine.checks.quiesce()
     return XdpRunResult(
         duration_ns=duration_ms * MS,
         offered=port.total_arrived(),

@@ -786,6 +786,8 @@ def chaos_suite(
 # Scenario registry
 # ---------------------------------------------------------------------- #
 
+from repro.check.oracle import check_oracle_point  # noqa: E402
+
 #: every scenario by function name — the campaign engine
 #: (:mod:`repro.campaign`) resolves task specs through this table, and
 #: the result cache fingerprints each function's source individually.
@@ -809,5 +811,6 @@ SCENARIOS: Dict[str, Callable] = {
         fig15_apps,
         tuned_low_latency,
         chaos_suite,
+        check_oracle_point,
     )
 }

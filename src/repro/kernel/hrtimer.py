@@ -107,6 +107,9 @@ class HrTimerQueue:
         timer.fired = True
         self.fired_count += 1
         core = self.core
+        checks = self.machine.checks
+        if checks is not None:
+            checks.on_timer_fire(core.index, timer.expiry, self.sim.now)
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.timer_fire(core.index, timer.expiry, idle=not core.is_busy)

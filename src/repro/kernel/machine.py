@@ -64,6 +64,10 @@ class Machine:
         #: touched and no simulator event is added, so runs without an
         #: engine are byte-identical to pre-faults builds
         self.faults = None
+        #: invariant-monitor registry (``repro.check``); None means
+        #: every check hook is dormant, same zero-perturbation contract
+        #: as ``faults``/``tracer``
+        self.checks = None
         self.threads: List[KThread] = []
 
     # ------------------------------------------------------------------ #
@@ -108,6 +112,24 @@ class Machine:
         if not isinstance(self.tracer, Tracer):
             self.tracer = Tracer(self.sim)
         return self.tracer
+
+    def enable_checks(self, monitors=None):
+        """Install a :class:`repro.check.CheckRegistry` (idempotent).
+
+        Call before building workloads so construction-time hooks (the
+        Metronome trylocks, Rx queues) bind to the live registry.  Like
+        tracing, the monitors add no simulator events and draw no
+        randomness, so enabling them never changes a run's results.
+        ``monitors`` selects a subset of :data:`repro.check.MONITORS`
+        (default: all); a second call returns the existing registry
+        unchanged.
+        """
+        from repro.check.registry import CheckRegistry
+
+        if self.checks is None:
+            self.checks = CheckRegistry(self, monitors=monitors)
+            self.sim.monitor = self.checks
+        return self.checks
 
     def install_faults(self, plan):
         """Install a :class:`repro.faults.FaultEngine` for ``plan``.

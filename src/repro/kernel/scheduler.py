@@ -284,6 +284,12 @@ class CfsScheduler:
                 return  # an IRQ window is still running; it settles idle
             core.mark_idle()
             return
+        checks = self.machine.checks
+        if checks is not None:
+            # fairness is checked at pop time: by _begin_run a
+            # context-switch delay may have let smaller-vruntime
+            # threads enqueue, which would false-positive pick-is-min
+            checks.on_pick(thread, cs)
 
         delay = 0
         was_idle = not core.is_busy

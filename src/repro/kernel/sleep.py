@@ -115,10 +115,17 @@ class SleepService:
                 tracer.sleep_return(kt, immediate=True)
             return
         queue = self.machine.hrtimers[kt.core.index]
-        queue.arm(expiry, kt.wake)
+        timer = queue.arm(expiry, kt.wake)
         if tracer.enabled:
             tracer.sleep_armed(kt, expiry)
         yield Suspend()
+        checks = self.machine.checks
+        if checks is not None:
+            # timer.fired distinguishes a timer-driven wake (bound by
+            # the expiry) from an external early wake (watchdog, fault
+            # injection), which is legal at any time
+            checks.on_sleep_wake(kt, expiry, self.machine.sim.now,
+                                 timer.fired)
         self._calls.inc()
         yield Compute(self._jitter(self.postamble_ns()) + half_entry)
         if tracer.enabled:

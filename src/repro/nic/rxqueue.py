@@ -50,6 +50,12 @@ class RxQueue:
         self.tagged_drops = 0
         #: arrivals offered so far (accepted + dropped)
         self.arrived_total = 0
+        #: optional repro.check registry (packet conservation / ring
+        #: bounds); queues self-register so every construction path —
+        #: Metronome, DPDK baseline, XDP — is covered
+        self.checks = getattr(sim, "monitor", None)
+        if self.checks is not None:
+            self.checks.register_queue(self)
 
     # ------------------------------------------------------------------ #
 
@@ -64,6 +70,8 @@ class RxQueue:
         self.arrived_total += n
         accepted = self.ring.offer(n)
         self._tag_interval(t0, t1, first_seq, n, accepted)
+        if self.checks is not None:
+            self.checks.on_ring(self)
         return accepted
 
     def _tag_interval(

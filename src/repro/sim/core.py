@@ -118,6 +118,11 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        #: optional invariant monitor (repro.check).  None keeps the
+        #: run loop on its fast path; when set, on_execute() observes
+        #: every live event pop (clock monotonicity) and RxQueues
+        #: self-register for conservation checks at construction.
+        self.monitor = None
 
     # ------------------------------------------------------------------ #
     # Scheduling primitives
@@ -165,6 +170,8 @@ class Simulator:
             fn = entry[3]
             if fn is None:  # tombstone from Handle.cancel()
                 continue
+            if self.monitor is not None:
+                self.monitor.on_execute(self.now, entry[0])
             entry[3] = _FIRED
             self.now = entry[0]
             fn(*entry[2])
@@ -192,6 +199,8 @@ class Simulator:
                 fn = entry[3]
                 if fn is None:
                     continue
+                if self.monitor is not None:
+                    self.monitor.on_execute(self.now, entry[0])
                 entry[3] = _FIRED
                 self.now = entry[0]
                 fn(*entry[2])

@@ -1,0 +1,32 @@
+"""End-to-end CLI coverage for ``repro check``."""
+
+import json
+
+from repro.cli import main
+
+
+def test_check_monitors_fast(capsys):
+    assert main(["check", "--monitors", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "invariant monitors:" in out
+    assert "verdict: PASS" in out
+    assert "VIOLATION" not in out
+
+
+def test_check_oracle_fast_with_cache_and_policy(results_dir, capsys):
+    # cold run populates the content-addressed cache
+    assert main(["check", "--oracle", "--fast", "--cache"]) == 0
+    out = capsys.readouterr().out
+    assert "model-vs-sim oracle: 24 lattice points" in out
+    assert "verdict: PASS" in out
+    assert list((results_dir / "cache").glob("*.json"))
+
+    # warm run is served from the cache; a custom policy that skips
+    # everything (absurd min_cycles) still exits 0 — skips aren't fails
+    policy = results_dir / "policy.json"
+    policy.write_text(json.dumps({"min_cycles": 10**9}))
+    assert main(["check", "--oracle", "--fast", "--cache",
+                 "--policy", str(policy)]) == 0
+    out = capsys.readouterr().out
+    assert "too few renewal cycles" in out
+    assert "verdict: PASS" in out

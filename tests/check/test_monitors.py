@@ -1,0 +1,55 @@
+"""The monitored scenario suite: fast smoke over representative
+scenarios, plus the report plumbing."""
+
+import pytest
+
+from repro.check.runner import (
+    MONITORED_SCENARIOS,
+    MonitorReport,
+    ScenarioVerdict,
+    run_monitors,
+)
+
+# one scenario per distinct code path family, kept short for CI
+SMOKE = (
+    "metronome-poisson-fixed",   # Poisson + fixed timeouts + hr_sleep
+    "metronome-watchdog",        # external early wakes (sleep monitor)
+    "metronome-two-queues",      # multi-queue locks + conservation
+    "xdp-baseline",              # the non-Metronome retrieval path
+)
+
+
+@pytest.mark.parametrize("name", SMOKE)
+def test_smoke_scenario_is_clean(name):
+    report = run_monitors(names=[name], fast=True)
+    (verdict,) = report.verdicts
+    assert verdict.name == name
+    assert verdict.checked > 0
+    assert verdict.ok, "\n".join(verdict.violations)
+    assert report.ok
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_monitors(names=["no-such-scenario"])
+
+
+def test_every_scenario_is_registered():
+    assert set(SMOKE) <= set(MONITORED_SCENARIOS)
+    assert len(MONITORED_SCENARIOS) >= 7
+
+
+def test_report_rendering_flags_violations():
+    clean = MonitorReport((ScenarioVerdict("a", 10, ()),))
+    assert clean.ok
+    assert "verdict: PASS" in clean.render()
+    dirty = MonitorReport((
+        ScenarioVerdict("a", 10, ()),
+        ScenarioVerdict("b", 5, ("[1 ns] lock/mutual-exclusion l: x",)),
+    ))
+    assert not dirty.ok
+    assert dirty.total_checked == 15
+    out = dirty.render()
+    assert "verdict: FAIL" in out
+    assert "1 VIOLATION(S)" in out
+    assert "mutual-exclusion" in out

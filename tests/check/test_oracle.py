@@ -1,0 +1,192 @@
+"""The model-vs-sim oracle: policy plumbing, the KS statistic, the
+per-point judge on synthetic records, and a live single-point sweep."""
+
+import pytest
+
+from repro import config
+from repro.check.oracle import (
+    DEFAULT_LATTICE,
+    TolerancePolicy,
+    _ks_distance,
+    check_oracle_point,
+    evaluate_point,
+    run_oracle,
+)
+from repro.core import model
+from repro.sim.units import US
+
+POLICY = TolerancePolicy()
+
+
+# ---------------------------------------------------------------------- #
+# policy
+# ---------------------------------------------------------------------- #
+
+def test_policy_round_trips_through_dict():
+    custom = TolerancePolicy(ks_max=0.1, min_cycles=5)
+    again = TolerancePolicy.from_dict(custom.to_dict())
+    assert again == custom
+
+
+def test_policy_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown tolerance key"):
+        TolerancePolicy.from_dict({"ks_maximum": 0.1})
+
+
+def test_default_lattice_spans_both_load_regimes():
+    rates = {p["rate_pps"] for p in DEFAULT_LATTICE}
+    assert rates == {config.LINE_RATE_PPS, 200_000}
+    assert len(DEFAULT_LATTICE) == 24
+
+
+# ---------------------------------------------------------------------- #
+# KS statistic
+# ---------------------------------------------------------------------- #
+
+def test_ks_distance_known_values():
+    uniform = lambda x: min(max(x, 0.0), 1.0)  # noqa: E731
+    # a single point at the median of U(0,1): D = 0.5
+    assert _ks_distance([0.5], uniform) == pytest.approx(0.5)
+    # two quartile points: empirical CDF steps at 0.25 and 0.75, D = 0.25
+    assert _ks_distance([0.25, 0.75], uniform) == pytest.approx(0.25)
+    # a perfect quantile grid converges: D = 1/(2n)
+    n = 100
+    grid = [(i + 0.5) / n for i in range(n)]
+    assert _ks_distance(grid, uniform) == pytest.approx(0.5 / n)
+
+
+def test_ks_distance_detects_point_mass():
+    uniform = lambda x: min(max(x, 0.0), 1.0)  # noqa: E731
+    assert _ks_distance([0.999] * 50, uniform) > 0.9
+
+
+# ---------------------------------------------------------------------- #
+# the per-point judge, on synthetic records
+# ---------------------------------------------------------------------- #
+
+def _conditional_quantile(u, ts_eff, tl_eff, m, p, ts_raw):
+    """Inverse of the conditional early-ending CDF, by bisection."""
+    g_cut = model.cdf_vacation_general(ts_raw * (1 - 1e-12),
+                                       ts_eff, tl_eff, m, p)
+    lo, hi = 0.0, ts_raw
+    for _ in range(80):
+        mid = (lo + hi) / 2
+        if model.cdf_vacation_general(mid, ts_eff, tl_eff, m, p) / g_cut < u:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def synthetic_point(policy=POLICY, *, cycles=1000, mean_factor=1.0,
+                    rho=0.5, ts_us=10, tl_us=500, m=3):
+    """A record the model describes *exactly*, optionally distorted."""
+    ts, tl = ts_us * float(US), tl_us * float(US)
+    ts_eff = ts + policy.wake_overhead_ns
+    tl_eff = tl + policy.wake_overhead_ns
+    primary, backup = 1000, 50
+    p = primary * ts_eff / (primary * ts_eff + backup * tl_eff)
+    mean_model = model.mean_vacation_general_exact(ts_eff, tl_eff, m, p)
+    total_vac = int(mean_model * cycles * mean_factor)
+    total_busy = int(total_vac * rho / (1.0 - rho))
+    rate = config.LINE_RATE_PPS
+    # pick `delivered` so the service-rate load estimate equals rho
+    delivered = max(1, int(rate * (total_busy / rho) / 1e9))
+    n = 200
+    sample = [
+        _conditional_quantile((i + 0.5) / n, ts_eff, tl_eff, m, p, ts)
+        for i in range(n)
+    ]
+    pb = model.prob_backup_success(ts_eff, tl_eff, m)
+    return {
+        "ts_us": ts_us, "tl_us": tl_us, "m": m, "rate_pps": rate,
+        "duration_ms": 40, "seed": 17,
+        "cycles": cycles,
+        "total_vacation_ns": total_vac,
+        "total_busy_ns": total_busy,
+        "vacation_sample_ns": sample,
+        "switches": int(pb * (cycles - 1)),
+        "primary_rounds": primary,
+        "backup_rounds": backup,
+        "offered": delivered, "delivered": delivered, "drops": 0,
+    }
+
+
+def test_model_perfect_point_passes_every_check():
+    report = evaluate_point(synthetic_point(), POLICY)
+    assert report.ok
+    statuses = {c.name: c.status for c in report.checks}
+    assert statuses == {
+        "mean-vacation": "pass",
+        "vacation-cdf": "pass",
+        "busy-fraction": "pass",
+        "backup-success": "pass",
+    }
+    assert report.rho_meas == pytest.approx(0.5, abs=0.01)
+
+
+def test_distorted_mean_fails_mean_check():
+    report = evaluate_point(synthetic_point(mean_factor=2.0), POLICY)
+    assert not report.ok
+    bad = {c.name for c in report.checks if c.status == "fail"}
+    assert "mean-vacation" in bad
+    assert "FAIL" in report.format()
+
+
+def test_point_mass_sample_fails_cdf_check():
+    data = synthetic_point()
+    ts = data["ts_us"] * float(US)
+    data["vacation_sample_ns"] = [ts * 0.99] * 200
+    report = evaluate_point(data, POLICY)
+    assert {c.name for c in report.checks if c.status == "fail"} \
+        == {"vacation-cdf"}
+
+
+def test_too_few_cycles_short_circuits():
+    report = evaluate_point(synthetic_point(cycles=10), POLICY)
+    (only,) = report.checks
+    assert (only.name, only.status) == ("sample-size", "skip")
+    assert report.ok  # skip is not failure
+
+
+def test_low_load_point_skips_race_checks():
+    report = evaluate_point(synthetic_point(rho=0.01), POLICY)
+    statuses = {c.name: c.status for c in report.checks}
+    assert statuses["vacation-cdf"] == "skip"
+    assert statuses["backup-success"] == "skip"
+    assert statuses["mean-vacation"] == "pass"
+
+
+# ---------------------------------------------------------------------- #
+# the live measurement and the sweep
+# ---------------------------------------------------------------------- #
+
+def test_check_oracle_point_smoke():
+    rec = check_oracle_point(duration_ms=5)
+    for key in ("cycles", "total_vacation_ns", "vacation_sample_ns",
+                "primary_rounds", "backup_rounds", "switches"):
+        assert key in rec
+    assert rec["cycles"] > 0
+    assert rec["primary_rounds"] + rec["backup_rounds"] > 0
+    # the record is JSON-normalized by the campaign layer; it must be
+    # reproducible at the source too
+    assert check_oracle_point(duration_ms=5) == rec
+
+
+def test_run_oracle_single_point_passes():
+    lattice = [{"ts_us": 10, "tl_us": 500, "m": 3,
+                "rate_pps": config.LINE_RATE_PPS}]
+    report = run_oracle(lattice=lattice, duration_ms=12)
+    assert len(report.points) == 1
+    assert report.ok, report.render()
+    out = report.render()
+    assert "verdict: PASS" in out
+    assert "1 lattice points" in out
+
+
+def test_run_oracle_surfaces_task_errors():
+    lattice = [{"ts_us": 10, "tl_us": 500, "m": 3, "rate_pps": "bogus"}]
+    report = run_oracle(lattice=lattice, duration_ms=5)
+    assert not report.ok
+    assert report.errors
+    assert "verdict: FAIL" in report.render()

@@ -1,11 +1,23 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Helpers here are imported explicitly (``from tests.conftest import
+make_machine``) so each test file states its dependencies; fixtures are
+picked up by pytest as usual.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.config import SimConfig
+from repro.core.metronome import MetronomeGroup
+from repro.core.tuning import AdaptiveTuner
+from repro.dpdk.app import CountingApp
 from repro.kernel.machine import Machine
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import CbrProcess, PoissonProcess
+from repro.sim.rng import RandomStreams
+from repro.sim.units import US
 
 
 @pytest.fixture
@@ -20,8 +32,40 @@ def noisy_machine() -> Machine:
     return Machine(SimConfig(num_cores=4, os_noise=True, seed=1234))
 
 
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A deterministic RNG-stream factory (fixed seed)."""
+    return RandomStreams(1234)
+
+
+@pytest.fixture
+def results_dir(tmp_path, monkeypatch):
+    """A throwaway results tree, also exported via REPRO_RESULTS_DIR so
+    code that consults :func:`repro.campaign.artifacts.default_results_dir`
+    lands in it too."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
 def make_machine(**overrides) -> Machine:
     """Helper for tests that need custom configs."""
     defaults = dict(num_cores=4, os_noise=False, seed=1234)
     defaults.update(overrides)
     return Machine(SimConfig(**defaults))
+
+
+def poisson(rate, seed=17, name="arrivals") -> PoissonProcess:
+    """A Poisson arrival process on its own derived numpy stream."""
+    return PoissonProcess(rate, RandomStreams(seed).numpy_stream(name))
+
+
+def build_group(machine, rate=1_000_000, m=3, **kwargs):
+    """One CBR-fed RxQueue plus a started MetronomeGroup of ``m``
+    threads — the standard small deployment used across test modules."""
+    q = RxQueue(machine.sim, CbrProcess(rate), sample_every=64)
+    kwargs.setdefault("tuner", AdaptiveTuner(
+        vbar_ns=10 * US, tl_ns=500 * US, m=m, initial_rho=0.3))
+    group = MetronomeGroup(machine, [q], CountingApp(),
+                           num_threads=m, cores=list(range(m)), **kwargs)
+    group.start()
+    return q, group

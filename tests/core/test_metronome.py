@@ -10,17 +10,7 @@ from repro.nic.rxqueue import RxQueue
 from repro.nic.traffic import CbrProcess
 from repro.sim.units import MS, US
 
-from tests.conftest import make_machine
-
-
-def build_group(machine, rate=1_000_000, m=3, **kwargs):
-    q = RxQueue(machine.sim, CbrProcess(rate), sample_every=64)
-    kwargs.setdefault("tuner", AdaptiveTuner(
-        vbar_ns=10 * US, tl_ns=500 * US, m=m, initial_rho=0.3))
-    group = MetronomeGroup(machine, [q], CountingApp(),
-                           num_threads=m, cores=list(range(m)), **kwargs)
-    group.start()
-    return q, group
+from tests.conftest import build_group, make_machine
 
 
 def test_forwards_without_loss_at_moderate_rate():

@@ -1,0 +1,115 @@
+"""Property-based tests for the analytical model (§4.2, Appendix C).
+
+Complements tests/core/test_model.py's example-based coverage with
+Hypothesis sweeps over the whole parameter domain: CDF axioms, the
+pdf↔cdf relation, the general CDF's reductions and its integral link to
+the exact mean, the p→0/p→1 limits, and the eq. 12 ↔ eq. 13 round-trip.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.model import (
+    cdf_vacation,
+    cdf_vacation_general,
+    mean_vacation_general,
+    mean_vacation_general_exact,
+    mean_vacation_high_load,
+    pdf_vacation,
+    ts_for_target_vacation,
+    vacation_atom_at_ts,
+)
+
+COMMON = dict(
+    ts=st.floats(min_value=0.5, max_value=100),
+    ratio=st.floats(min_value=1.0, max_value=100),
+    m=st.integers(min_value=1, max_value=10),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(**COMMON, p=st.floats(min_value=0, max_value=1),
+       u=st.floats(min_value=0, max_value=1))
+def test_general_cdf_is_a_cdf(ts, ratio, m, p, u):
+    """Bounded to [0,1], zero below 0, one at T_S, monotone."""
+    tl = ts * ratio
+    x = u * ts
+    g = cdf_vacation_general(x, ts, tl, m, p)
+    assert 0.0 <= g <= 1.0
+    assert cdf_vacation_general(-1.0, ts, tl, m, p) == 0.0
+    assert cdf_vacation_general(ts, ts, tl, m, p) == 1.0
+    # monotone: a step to the right never decreases it
+    assert cdf_vacation_general(min(x + 0.1 * ts, ts), ts, tl, m, p) \
+        >= g - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(**COMMON, u=st.floats(min_value=0, max_value=1))
+def test_general_cdf_reduces_to_eq5_at_p0(ts, ratio, m, u):
+    tl = ts * ratio
+    x = u * ts
+    assert cdf_vacation_general(x, ts, tl, m, 0.0) \
+        == pytest.approx(cdf_vacation(x, ts, tl, m), abs=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(**COMMON, u=st.floats(min_value=0.05, max_value=0.95))
+def test_pdf_is_central_difference_of_cdf(ts, ratio, m, u):
+    tl = ts * ratio
+    x = u * ts
+    h = min(x, ts - x, ts * 1e-4) / 2
+    numeric = (cdf_vacation(x + h, ts, tl, m)
+               - cdf_vacation(x - h, ts, tl, m)) / (2 * h)
+    assert pdf_vacation(x, ts, tl, m) == pytest.approx(
+        numeric, rel=1e-3, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(**COMMON, p=st.floats(min_value=0, max_value=1))
+def test_exact_mean_is_integral_of_general_survival(ts, ratio, m, p):
+    """E[V] = ∫₀^Ts (1 − G(x)) dx — ties the two Appendix C forms."""
+    tl = ts * ratio
+    n = 2000
+    integral = sum(
+        1.0 - cdf_vacation_general((i + 0.5) * ts / n, ts, tl, m, p)
+        for i in range(n)
+    ) * ts / n
+    assert mean_vacation_general_exact(ts, tl, m, p) == pytest.approx(
+        integral, rel=1e-4)
+
+
+@settings(max_examples=100, deadline=None)
+@given(**COMMON)
+def test_exact_mean_limits(ts, ratio, m):
+    """p→1 (all primaries) gives T_S/M; p→0 recovers eq. 6."""
+    tl = ts * ratio
+    assert mean_vacation_general_exact(ts, tl, m, 1.0) \
+        == pytest.approx(ts / m, rel=1e-9)
+    assert mean_vacation_general_exact(ts, tl, m, 0.0) \
+        == pytest.approx(mean_vacation_high_load(ts, tl, m), rel=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(**COMMON)
+def test_cdf_atom_complements_continuous_mass(ts, ratio, m):
+    """P(V = T_S) + lim_{x→T_S⁻} P(V ≤ x) = 1."""
+    tl = ts * ratio
+    just_below = ts * (1 - 1e-9)
+    total = (vacation_atom_at_ts(ts, tl, m)
+             + cdf_vacation(just_below, ts, tl, m))
+    assert total == pytest.approx(1.0, rel=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    vbar=st.floats(min_value=0.5, max_value=100),
+    m=st.integers(min_value=1, max_value=10),
+    rho=st.floats(min_value=0, max_value=1),
+)
+def test_ts_rule_round_trips_through_eq13(vbar, m, rho):
+    """eq. 12 is the inverse of eq. 13 at p = 1 − ρ by construction."""
+    ts = ts_for_target_vacation(vbar, m, rho)
+    assert mean_vacation_general(ts, m, 1.0 - rho) \
+        == pytest.approx(vbar, rel=1e-9)

@@ -16,15 +16,11 @@ from repro.core.model import (
 )
 from repro.core.tuning import FixedTuner
 from repro.harness.experiment import run_metronome
-from repro.nic.traffic import PoissonProcess
-from repro.sim.rng import RandomStreams
 from repro.sim.units import US
 
+from tests.conftest import poisson
+
 LINE = config.LINE_RATE_PPS
-
-
-def poisson(rate, seed=17, name="xval"):
-    return PoissonProcess(rate, RandomStreams(seed).numpy_stream(name))
 
 
 def test_mean_vacation_matches_eq6_at_high_load():

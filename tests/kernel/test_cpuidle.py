@@ -2,7 +2,6 @@
 
 from repro import config
 from repro.kernel.cpuidle import CpuIdle, mean_exit_latency_ns
-from repro.sim.rng import RandomStreams
 from repro.sim.units import US
 
 from tests.conftest import make_machine
@@ -31,8 +30,8 @@ def test_calibration_anchors():
     assert 6_500 < mean_exit_latency_ns(200 * US) < 7_500
 
 
-def test_sample_distribution_centred_on_mean():
-    cpuidle = CpuIdle(RandomStreams(3))
+def test_sample_distribution_centred_on_mean(streams):
+    cpuidle = CpuIdle(streams)
     machine = make_machine()
     core = machine.cores[0]
     core.idle_since = 0

@@ -6,14 +6,14 @@ from hypothesis import strategies as st
 
 from repro.nic.traffic import (
     CbrProcess,
-    PoissonProcess,
     RampProfile,
     gbps_to_pps,
     mpps,
     triangle_ramp,
 )
-from repro.sim.rng import RandomStreams
 from repro.sim.units import MS, SEC, US
+
+from tests.conftest import poisson
 
 
 def test_line_rate_constant():
@@ -84,7 +84,7 @@ class TestCbr:
 
 class TestPoisson:
     def _proc(self, rate=1_000_000, seed=9):
-        return PoissonProcess(rate, RandomStreams(seed).numpy_stream("t"))
+        return poisson(rate, seed=seed)
 
     def test_mean_count(self):
         p = self._proc()
