@@ -145,6 +145,8 @@ def check_oracle_point(
     from repro.sim.rng import RandomStreams
 
     process = PoissonProcess(
+        # repro: allow[P002] lattice-point driver, not an observer: it
+        # seeds its own workload stream before the run it measures
         int(rate_pps), RandomStreams(seed).numpy_stream("oracle")
     )
     res = run_metronome(

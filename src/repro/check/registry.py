@@ -348,7 +348,9 @@ class CheckRegistry:
         """
         start = len(self.violations)
         if self._lock:
-            for lock, owner in self._held.values():
+            held = sorted(self._held.values(),
+                          key=lambda lo: getattr(lo[0], "name", ""))
+            for lock, owner in held:
                 self.checked["lock"] += 1
                 state = getattr(owner, "state", None)
                 if state not in (ThreadState.RUNNING, ThreadState.RUNNABLE):

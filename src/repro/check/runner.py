@@ -44,6 +44,8 @@ def _poisson_fixed(seed: int, duration_ms: int):
     return _metronome(
         seed, duration_ms,
         rate=PoissonProcess(
+            # repro: allow[P002] scenario driver, not an observer: the
+            # monitored run's workload draws from its own named stream
             config.LINE_RATE_PPS, RandomStreams(seed).numpy_stream("check")
         ),
         tuner=FixedTuner(ts_ns=10 * US, tl_ns=500 * US),

@@ -586,6 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="JSON TolerancePolicy file overriding the defaults")
     ck.add_argument("--cache", action="store_true",
                     help="reuse the campaign result cache for lattice points")
+    from repro.lint.main import add_parser as add_lint_parser
+
+    add_lint_parser(sub)
     ca = sub.add_parser(
         "campaign",
         help="sharded benchmark sweeps with result caching")
@@ -645,6 +648,10 @@ def main(argv: List[str] = None) -> int:
         return _check_cmd(args)
     if args.command == "campaign":
         return _campaign_cmd(args)
+    if args.command == "lint":
+        from repro.lint.main import main as lint_main
+
+        return lint_main(args)
     if args.command == "quickstart":
         print(_quickstart(scale, seed))
         return 0

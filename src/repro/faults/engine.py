@@ -20,21 +20,27 @@ spans and instants in the tracer, and the per-injector ``active`` flags.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.faults.injectors import INJECTOR_CLASSES, Injector
 from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:
+    import random
+
+    from repro.kernel.machine import Machine
+    from repro.nic.traffic import FaultableProcess
 
 
 class FaultEngine:
     """Arms one injector per spec of ``plan`` on ``machine``."""
 
-    def __init__(self, machine: "Machine", plan: FaultPlan):  # noqa: F821
+    def __init__(self, machine: "Machine", plan: FaultPlan):
         self.machine = machine
         self.plan = plan
-        self._rngs: Dict[str, "random.Random"] = {}  # noqa: F821
+        self._rngs: Dict[str, "random.Random"] = {}
         #: FaultableProcess wrappers the traffic injectors act on
-        self.processes: List["FaultableProcess"] = []  # noqa: F821
+        self.processes: List["FaultableProcess"] = []
         self.injectors: List[Injector] = [
             INJECTOR_CLASSES[spec.kind](self, spec) for spec in plan.specs
         ]

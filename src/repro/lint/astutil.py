@@ -1,0 +1,117 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Resolves local names to the dotted module paths they alias.
+
+    ``import numpy as np``          →  ``np``        ⇒ ``numpy``
+    ``import time``                 →  ``time``      ⇒ ``time``
+    ``from time import sleep as s`` →  ``s``         ⇒ ``time.sleep``
+    ``from datetime import datetime`` → ``datetime`` ⇒ ``datetime.datetime``
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    self.aliases[a.asname or a.name.split(".")[0]] = (
+                        a.name if a.asname else a.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import: never stdlib random/time
+                    continue
+                for a in node.names:
+                    self.aliases[a.asname or a.name] = (
+                        f"{node.module}.{a.name}"
+                    )
+
+    def resolve_call(self, func: ast.AST) -> Optional[str]:
+        """The fully-qualified dotted path of a call target, through
+        the import aliases; None when the root is not an import."""
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        real = self.aliases.get(head)
+        if real is None:
+            return None
+        return f"{real}.{rest}" if rest else real
+
+
+def expr_key(node: ast.AST) -> str:
+    """A stable textual key for an expression (lock objects, handles):
+    normalised ``ast.unparse`` so ``sq.lock`` compares equal across
+    occurrences."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed synthetic nodes
+        return ast.dump(node)
+
+
+def target_root(node: ast.AST) -> Optional[str]:
+    """The root Name of an assignment target chain (``a.b[c].d`` → ``a``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_attr(node: ast.AST) -> Optional[str]:
+    """The method name when ``node`` is an ``obj.method(...)`` call."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def walk_shallow(root: ast.AST):
+    """Like :func:`ast.walk` but does not descend into nested function
+    scopes (defs/lambdas) — their statements belong to their own CFG."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def stmt_header_exprs(stmt: ast.stmt):
+    """The expressions a CFG block *itself* evaluates for a compound
+    statement whose body lives in successor blocks: the ``if``/``while``
+    test, the ``for`` iterable and target, ``with`` context managers.
+    Simple statements evaluate everything they contain."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    return [stmt]

@@ -1,0 +1,64 @@
+"""The committed baseline: known findings ratcheted out of the build.
+
+A baseline entry grandfathers one existing finding by content
+fingerprint (rule id + file + flagged line text + occurrence index),
+so line-number churn does not invalidate it but any change to the
+flagged line does.  ``--strict`` refuses a non-empty baseline: the
+shipped tree carries zero entries, and the file exists so that a
+future large refactor can land with an explicit, reviewed debt list
+instead of a disabled linter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.lint.engine import (
+    LintConfig,
+    read_sources,
+    run_lint,
+    with_fingerprints,
+)
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def load_baseline(path: str) -> Dict[str, Dict]:
+    """fingerprint -> entry dict; empty when the file is absent."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    entries = doc.get("entries", [])
+    return {e["fingerprint"]: e for e in entries}
+
+
+def write_baseline(path: str, config: LintConfig) -> int:
+    """Snapshot every current finding into ``path``; returns the count."""
+    result = run_lint(config)
+    sources = read_sources(config)
+    entries: List[Dict] = []
+    for f, fp in with_fingerprints(result.findings, sources):
+        entries.append({
+            "fingerprint": fp,
+            "rule": f.rule_id,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+            "justification": "TODO: why this finding is acceptable",
+        })
+    doc = {
+        "version": 1,
+        "comment": (
+            "Grandfathered lint findings. Every entry needs a written "
+            "justification; `repro lint --strict` fails while any "
+            "entry remains."
+        ),
+        "entries": entries,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)

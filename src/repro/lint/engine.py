@@ -1,0 +1,424 @@
+"""The lint engine: file discovery, rule registry, suppressions.
+
+``repro.lint`` is a *sim-safety* analyzer: its rules encode the
+contracts the reproduction's correctness rests on (determinism,
+zero-perturbation observability, trylock discipline, API usage) and
+checks them statically, whole-program, at CI time — the complement of
+the runtime monitors in :mod:`repro.check`.
+
+Everything here is deliberately deterministic: files are visited in
+sorted order, findings are reported in a stable sort, and fingerprints
+are content hashes — so two runs of the linter on the same tree are
+byte-identical regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: an id, a short name, and a check function."""
+
+    rule_id: str
+    name: str
+    summary: str
+    check: Callable[["FileContext"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, what, and how to fix it."""
+
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+#: global registry, populated by the rule modules at import time
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str, summary: str):
+    """Decorator registering a check function under ``rule_id``."""
+
+    def deco(fn: Callable[["FileContext"], Iterable[Finding]]):
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(rule_id, name, summary, fn)
+        return fn
+
+    return deco
+
+
+def _engine_emitted(ctx: "FileContext") -> Iterable[Finding]:
+    """Placeholder check for rules the engine emits itself."""
+    return ()
+
+
+# Meta rules are produced by the engine (suppression hygiene, parse
+# failures), not by a per-file check pass; register descriptors so they
+# are selectable and carry real metadata in SARIF output.
+for _rid, _name, _summary in (
+    ("S001", "reasonless-suppression",
+     "suppression comment carries no reason text"),
+    ("S002", "unused-suppression",
+     "suppression comment matched no finding — stale, delete it"),
+    ("E000", "parse-error", "file does not parse"),
+):
+    RULES[_rid] = Rule(_rid, _name, _summary, _engine_emitted)
+del _rid, _name, _summary
+
+
+@dataclass
+class LintConfig:
+    """What to lint and which contracts apply where.
+
+    Paths in the ``*_dirs`` / ``*_allow`` tuples are repo-relative
+    posix prefixes matched against each file's path.
+    """
+
+    root: str = "."
+    #: directories/files to lint, relative to root
+    paths: Tuple[str, ...] = ("src/repro",)
+    #: rule ids to run (empty = all registered)
+    select: Tuple[str, ...] = ()
+    #: the one module allowed to construct raw RNGs
+    rng_module: str = "src/repro/sim/rng.py"
+    #: subtrees that legitimately live in wall-clock time
+    wallclock_allow: Tuple[str, ...] = (
+        "src/repro/campaign/",
+        "src/repro/lint/",
+        "tools/",
+    )
+    #: observer subtrees bound by the zero-perturbation contract
+    observer_dirs: Tuple[str, ...] = (
+        "src/repro/trace/",
+        "src/repro/metrics/",
+        "src/repro/check/",
+    )
+
+
+@dataclass
+class Suppression:
+    """An inline ``# repro: allow[rule-id] reason`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\- ]+)\]\s*(.*)$"
+)
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Scan real ``#`` comments (via :mod:`tokenize`, so the marker
+    inside a string literal or docstring is never mistaken for one)."""
+    out: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m:
+                ids = tuple(
+                    s.strip() for s in m.group(1).split(",") if s.strip()
+                )
+                out.append(Suppression(tok.start[0], ids, m.group(2).strip()))
+    except tokenize.TokenError:  # unterminated something; parser catches it
+        pass
+    return out
+
+
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    def __init__(self, relpath: str, source: str, config: LintConfig):
+        self.path = relpath  # posix, repo-relative
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=relpath)
+        self.config = config
+
+    # -- path predicates ----------------------------------------------- #
+
+    def under(self, *prefixes: str) -> bool:
+        return any(self.path.startswith(p) for p in prefixes)
+
+    @property
+    def is_rng_module(self) -> bool:
+        return self.path == self.config.rng_module
+
+    @property
+    def wallclock_allowed(self) -> bool:
+        return self.under(*self.config.wallclock_allow)
+
+    @property
+    def is_observer(self) -> bool:
+        return self.under(*self.config.observer_dirs)
+
+    # -- helpers -------------------------------------------------------- #
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def finding(
+        self, node: ast.AST, rule_id: str, message: str, hint: str = ""
+    ) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+            hint=hint,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# running
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: findings silenced by an inline suppression (kept for reporting)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: findings silenced by the committed baseline
+    baselined: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule_id] = out.get(f.rule_id, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def discover_files(config: LintConfig) -> List[str]:
+    """Repo-relative posix paths of every ``.py`` under config.paths,
+    sorted for deterministic visit order."""
+    found = []
+    for base in config.paths:
+        full = os.path.join(config.root, base)
+        if os.path.isfile(full):
+            if full.endswith(".py"):
+                found.append(base)
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for fn in filenames:
+                if not fn.endswith(".py"):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, fn), config.root)
+                found.append(rel.replace(os.sep, "/"))
+    return sorted(set(found))
+
+
+def fingerprint(finding: Finding, line_text: str, index: int) -> str:
+    """A line-number-independent identity for baseline matching:
+    hashes the rule, file, the *text* of the flagged line, and the
+    occurrence index among identical (rule, file, text) triples — so
+    unrelated edits that shift line numbers do not invalidate entries.
+    """
+    basis = f"{finding.rule_id}|{finding.path}|{line_text.strip()}|{index}"
+    return hashlib.sha256(basis.encode()).hexdigest()[:16]
+
+
+def _selected_rules(config: LintConfig) -> List[Rule]:
+    # import-for-effect: rule modules self-register on first import
+    from repro.lint import api, determinism, locks, perturbation  # noqa: F401
+
+    if config.select:
+        unknown = [r for r in config.select if r not in RULES]
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+        ids = list(config.select)
+    else:
+        ids = list(RULES)
+    return [RULES[r] for r in sorted(ids)]
+
+
+def lint_file(
+    relpath: str, source: str, config: LintConfig,
+    rules: Optional[List[Rule]] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file; returns (active findings, suppressed findings)."""
+    if rules is None:
+        rules = _selected_rules(config)
+    try:
+        ctx = FileContext(relpath, source, config)
+    except SyntaxError as exc:
+        f = Finding(
+            path=relpath, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            rule_id="E000", message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; the linter cannot analyse this file",
+        )
+        return [f], []
+
+    raw: List[Finding] = []
+    for r in rules:
+        raw.extend(r.check(ctx))
+    raw = sorted(set(raw))  # rules may visit nested scopes twice
+
+    suppressions = parse_suppressions(ctx.source)
+    by_line: Dict[int, List[Suppression]] = {}
+    for s in suppressions:
+        by_line.setdefault(s.line, []).append(s)
+        # a comment on its own line covers the next code line (skipping
+        # blank lines and the comment block it belongs to)
+        if ctx.line_text(s.line).lstrip().startswith("#"):
+            nxt = s.line + 1
+            while nxt <= len(ctx.lines) and (
+                not ctx.line_text(nxt).strip()
+                or ctx.line_text(nxt).lstrip().startswith("#")
+            ):
+                nxt += 1
+            by_line.setdefault(nxt, []).append(s)
+
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in raw:
+        match = None
+        for s in by_line.get(f.line, ()):
+            if f.rule_id in s.rule_ids:
+                match = s
+                break
+        if match is not None:
+            match.used = True
+            suppressed.append(f)
+        else:
+            active.append(f)
+
+    # meta rules: suppressions must carry a reason and must be load-bearing
+    rule_ids = {r.rule_id for r in rules}
+    for s in suppressions:
+        node = _FakeNode(s.line)
+        if "S001" in rule_ids or not config.select:
+            if not s.reason:
+                active.append(ctx.finding(
+                    node, "S001",
+                    f"suppression allow[{','.join(s.rule_ids)}] has no reason",
+                    hint="write the justification after the ]: "
+                         "`# repro: allow[rule-id] <why this is safe>`",
+                ))
+        if "S002" in rule_ids or not config.select:
+            # only judge "unused" when every rule the comment targets
+            # actually ran — under --rule subsets a suppression for an
+            # unselected rule matches nothing by construction
+            if not s.used and s.reason and set(s.rule_ids) <= rule_ids:
+                active.append(ctx.finding(
+                    node, "S002",
+                    f"unused suppression allow[{','.join(s.rule_ids)}]"
+                    " matches no finding",
+                    hint="delete the stale comment (or fix the rule id)",
+                ))
+    return active, suppressed
+
+
+class _FakeNode:
+    """Positions meta-findings (suppression hygiene) at a comment line."""
+
+    def __init__(self, line: int):
+        self.lineno = line
+        self.col_offset = 0
+
+
+def run_lint(
+    config: LintConfig,
+    baseline_fingerprints: Iterable[str] = (),
+) -> LintResult:
+    """Lint every file under ``config.paths``; baseline-filtered."""
+    rules = _selected_rules(config)
+    result = LintResult()
+    sources: Dict[str, str] = {}
+    for relpath in discover_files(config):
+        with open(os.path.join(config.root, relpath), encoding="utf-8") as fh:
+            sources[relpath] = fh.read()
+    active_all: List[Finding] = []
+    for relpath in sorted(sources):
+        active, suppressed = lint_file(relpath, sources[relpath],
+                                       config, rules)
+        active_all.extend(active)
+        result.suppressed.extend(suppressed)
+        result.files += 1
+
+    baseline = set(baseline_fingerprints)
+    if baseline:
+        kept: List[Finding] = []
+        for f, fp in with_fingerprints(active_all, sources):
+            if fp in baseline:
+                result.baselined.append(f)
+            else:
+                kept.append(f)
+        active_all = kept
+
+    result.findings = sorted(active_all)
+    result.suppressed.sort()
+    result.baselined.sort()
+    return result
+
+
+def with_fingerprints(
+    findings: Iterable[Finding], sources: Dict[str, str]
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its baseline fingerprint (stable order)."""
+    line_cache: Dict[str, List[str]] = {
+        p: src.splitlines() for p, src in sources.items()
+    }
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Finding, str]] = []
+    for f in sorted(findings):
+        lines = line_cache.get(f.path, [])
+        text = lines[f.line - 1] if 1 <= f.line <= len(lines) else ""
+        key = (f.rule_id, f.path, text.strip())
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        out.append((f, fingerprint(f, text, index)))
+    return out
+
+
+def read_sources(config: LintConfig) -> Dict[str, str]:
+    """The file set a lint run would analyse (for fingerprinting)."""
+    out: Dict[str, str] = {}
+    for relpath in discover_files(config):
+        with open(os.path.join(config.root, relpath), encoding="utf-8") as fh:
+            out[relpath] = fh.read()
+    return out
+
+
+# re-exported for rule modules
+__all__ = [
+    "Finding", "Rule", "RULES", "rule", "LintConfig", "FileContext",
+    "LintResult", "run_lint", "lint_file", "discover_files",
+    "fingerprint", "with_fingerprints", "read_sources",
+    "parse_suppressions", "Suppression",
+]

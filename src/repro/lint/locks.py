@@ -1,0 +1,237 @@
+"""Lock-discipline rules (L001–L002).
+
+Metronome's queue sharing (paper §3.2) rests on the per-queue trylock:
+a thread that wins ``try_acquire`` drains the queue and *must* release
+before sleeping, on every path — a leaked lock silently starves the
+queue forever, the precise failure the primary/backup timeout diversity
+exists to avoid.  The runtime shadow map (repro.check ``lock`` monitor)
+catches leaks on executed paths; this rule proves pairing on *all*
+paths of every function, including ones no test reaches.
+
+Analysis: a forward dataflow over the intraprocedural CFG.  Lock
+objects are identified textually (``sq.lock``); branch edges whose
+test is (a negation of) a ``try_acquire`` call — or a boolean variable
+bound to one — refine the lock to HELD on the true side and FREE on
+the false side.  At the normal exit, HELD or MAYBE means some path
+leaks (L001); a ``release`` at a point where the lock is provably FREE
+is unpaired (L002).  Crash paths (uncaught ``raise``) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.astutil import expr_key, stmt_header_exprs, walk_shallow
+from repro.lint.cfg import CFG, Block, build_cfg, function_defs
+from repro.lint.engine import FileContext, Finding, rule
+
+# lattice: FREE < HELD, MAYBE = join(FREE, HELD)
+FREE, HELD, MAYBE = 0, 1, 2
+
+
+def _join(a: int, b: int) -> int:
+    return a if a == b else MAYBE
+
+
+def _acquire_call(node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
+    """(lock key, call node) when ``node`` is ``<lock>.try_acquire(...)``."""
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "try_acquire"):
+        return expr_key(node.func.value), node
+    return None
+
+
+def _release_call(node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release"):
+        return expr_key(node.func.value), node
+    return None
+
+
+class _FunctionLocks:
+    """The lock analysis of one function."""
+
+    def __init__(self, fn: ast.AST):
+        self.fn = fn
+        self.cfg: CFG = build_cfg(fn)
+        #: lock key -> first try_acquire call (for reporting)
+        self.acquire_sites: Dict[str, ast.Call] = {}
+        #: boolean variable name -> lock key (``ok = x.try_acquire(...)``)
+        self.flag_vars: Dict[str, str] = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        for node in walk_shallow(self.fn):
+            acq = _acquire_call(node)
+            if acq:
+                self.acquire_sites.setdefault(acq[0], acq[1])
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                acq = _acquire_call(node.value)
+                if acq and isinstance(target, ast.Name):
+                    self.flag_vars[target.id] = acq[0]
+
+    # -- branch refinement --------------------------------------------- #
+
+    def _branch_lock(self, test: ast.expr) -> Optional[Tuple[str, bool]]:
+        """(lock key, truthy-means-held) for a branch test, or None.
+
+        Handles ``x.try_acquire(k)``, ``not x.try_acquire(k)``, a flag
+        name bound to an acquire, and its negation.  Anything more
+        complex stays unrefined (conservative MAYBE on both sides).
+        """
+        negated = False
+        while isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            negated = not negated
+            test = test.operand
+        acq = _acquire_call(test)
+        if acq:
+            return acq[0], not negated
+        if isinstance(test, ast.Name) and test.id in self.flag_vars:
+            return self.flag_vars[test.id], not negated
+        return None
+
+    # -- transfer ------------------------------------------------------ #
+
+    def _transfer(
+        self, block: Block, state: Dict[str, int],
+        findings: List[Tuple[ast.AST, str, str]],
+        report: bool,
+    ) -> Dict[str, int]:
+        state = dict(state)
+        for stmt in block.stmts:
+            for header in stmt_header_exprs(stmt):
+                self._transfer_expr(header, state, findings, report)
+        return state
+
+    def _transfer_expr(
+        self, header: ast.AST, state: Dict[str, int],
+        findings: List[Tuple[ast.AST, str, str]],
+        report: bool,
+    ) -> None:
+        for node in walk_shallow(header):
+            rel = _release_call(node)
+            if rel is not None:
+                key, call = rel
+                if key in self.acquire_sites:
+                    if report and state.get(key, FREE) == FREE:
+                        findings.append((
+                            call, "L002",
+                            f"release of `{key}` not dominated by a "
+                            "successful try_acquire on this path",
+                        ))
+                    state[key] = FREE
+                continue
+            acq = _acquire_call(node)
+            if acq is not None:
+                key = acq[0]
+                # the result may be branched on right here (the block's
+                # test) — the edge refinement sharpens this; unbranched
+                # acquires stay MAYBE, which correctly reports "leaked
+                # on the success path" at exit
+                prev = state.get(key, FREE)
+                state[key] = MAYBE if prev == FREE else prev
+
+    def _edge_state(
+        self, block: Block, label: str, state: Dict[str, int]
+    ) -> Dict[str, int]:
+        if block.branch is None or label not in ("true", "false"):
+            return state
+        refined = self._branch_lock(block.branch)
+        if refined is None:
+            return state
+        key, truthy_held = refined
+        state = dict(state)
+        state[key] = HELD if (label == "true") == truthy_held else FREE
+        return state
+
+    # -- fixpoint ------------------------------------------------------ #
+
+    def run(self) -> List[Tuple[ast.AST, str, str]]:
+        if not self.acquire_sites:
+            return []
+        entry_state: Dict[str, int] = {k: FREE for k in self.acquire_sites}
+        in_states: Dict[int, Dict[str, int]] = {self.cfg.entry.id: entry_state}
+        # two passes: fixpoint first (no reporting), then one reporting
+        # sweep over the stable states so loops do not duplicate findings
+        for _round in range(len(self.cfg.blocks) * 4 + 8):
+            changed = False
+            for block in self.cfg.blocks:
+                if block.id not in in_states:
+                    continue
+                out = self._transfer(block, in_states[block.id], [], False)
+                for succ, label in block.succs:
+                    es = self._edge_state(block, label, out)
+                    cur = in_states.get(succ.id)
+                    if cur is None:
+                        in_states[succ.id] = dict(es)
+                        changed = True
+                    else:
+                        merged = {
+                            k: _join(cur.get(k, FREE), es.get(k, FREE))
+                            for k in self.acquire_sites
+                        }
+                        if merged != cur:
+                            in_states[succ.id] = merged
+                            changed = True
+            if not changed:
+                break
+
+        findings: List[Tuple[ast.AST, str, str]] = []
+        seen: Set[Tuple[int, str]] = set()
+        for block in self.cfg.blocks:
+            if block.id not in in_states:
+                continue
+            local: List[Tuple[ast.AST, str, str]] = []
+            self._transfer(block, in_states[block.id], local, True)
+            for node, rid, msg in local:
+                dedup = (getattr(node, "lineno", 0), rid)
+                if dedup not in seen:
+                    seen.add(dedup)
+                    findings.append((node, rid, msg))
+
+        exit_state = in_states.get(self.cfg.exit.id)
+        if exit_state:
+            for key, status in sorted(exit_state.items()):
+                if status in (HELD, MAYBE):
+                    site = self.acquire_sites[key]
+                    some = "some path" if status == MAYBE else "every path"
+                    findings.append((
+                        site, "L001",
+                        f"lock `{key}` acquired here can reach function "
+                        f"exit still held on {some}",
+                    ))
+        return findings
+
+
+@rule("L001", "lock-leak",
+      "a successful try_acquire can reach function exit unreleased")
+def check_lock_leak(ctx: FileContext) -> Iterable[Finding]:
+    for fn in function_defs(ctx.tree):
+        for node, rid, msg in _FunctionLocks(fn).run():
+            if rid != "L001":
+                continue
+            yield ctx.finding(
+                node, "L001", msg,
+                hint="release on every path out of the drain loop "
+                     "(try/finally, or release before each "
+                     "return/continue); a leaked trylock starves the "
+                     "queue permanently",
+            )
+
+
+@rule("L002", "release-unheld",
+      "release reachable without a dominating successful try_acquire")
+def check_release_unheld(ctx: FileContext) -> Iterable[Finding]:
+    for fn in function_defs(ctx.tree):
+        for node, rid, msg in _FunctionLocks(fn).run():
+            if rid != "L002":
+                continue
+            yield ctx.finding(
+                node, "L002", msg,
+                hint="guard the release with the try_acquire result; "
+                     "releasing an unheld TryLock raises at runtime",
+            )

@@ -1,0 +1,93 @@
+"""``repro lint`` — the CLI entry point (wired from repro.cli).
+
+Exit codes: 0 clean, 1 findings (or strict-mode contract breaches),
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import LintConfig, run_lint
+from repro.lint.report import render_json, render_sarif, render_text
+
+
+def build_config(args) -> LintConfig:
+    cfg = LintConfig(root=args.root)
+    if args.paths:
+        cfg.paths = tuple(args.paths)
+    if args.rule:
+        cfg.select = tuple(args.rule)
+    return cfg
+
+
+def main(args) -> int:
+    cfg = build_config(args)
+    baseline_path = args.baseline or os.path.join(
+        args.root, baseline_mod.DEFAULT_BASELINE)
+
+    if args.write_baseline:
+        n = baseline_mod.write_baseline(baseline_path, cfg)
+        print(f"wrote {n} baseline entr{'y' if n == 1 else 'ies'} "
+              f"-> {baseline_path}")
+        return 0
+
+    entries = baseline_mod.load_baseline(baseline_path)
+    problems: List[str] = []
+    if args.strict:
+        # strict mode: the ratchet must be fully paid off
+        if entries:
+            problems.append(
+                f"--strict: baseline {baseline_path} still has "
+                f"{len(entries)} grandfathered entr"
+                f"{'y' if len(entries) == 1 else 'ies'}"
+            )
+        entries = {}
+
+    result = run_lint(cfg, baseline_fingerprints=entries.keys())
+
+    out: Optional[str] = getattr(args, "out", None)
+    if args.format == "json":
+        rendered = render_json(result)
+    elif args.format == "sarif":
+        rendered = render_sarif(result)
+    else:
+        rendered = render_text(result, verbose=args.verbose) + "\n"
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"{len(result.findings)} finding(s) -> {out}")
+    else:
+        print(rendered, end="")
+    for p in problems:
+        print(p)
+    return 1 if (result.findings or problems) else 0
+
+
+def add_parser(sub) -> None:
+    """Register the ``lint`` subcommand on a subparsers object."""
+    p = sub.add_parser(
+        "lint",
+        help="sim-safety static analysis (determinism, zero-perturbation, "
+             "lock discipline)")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default src/repro)")
+    p.add_argument("--root", default=".",
+                   help="repository root paths are relative to")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on any finding, unused suppression, "
+                        "reasonless suppression, or baseline entry")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text")
+    p.add_argument("--rule", action="append", default=None,
+                   metavar="ID", help="run only this rule id (repeatable)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file (default <root>/lint-baseline.json)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="snapshot current findings into the baseline")
+    p.add_argument("--out", default=None,
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list suppressed findings (text format)")

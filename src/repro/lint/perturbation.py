@@ -1,0 +1,89 @@
+"""Zero-perturbation rules (P001–P002).
+
+The observability layers — :mod:`repro.trace`, :mod:`repro.metrics`,
+:mod:`repro.check` — promise that enabling them never changes a run's
+results: they schedule no events, draw no randomness, and mutate
+nothing they observe.  PR 1/PR 4 assert this dynamically (byte-identical
+runs, RNG states compared); these rules enforce the two mutation
+vectors statically on every code path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.lint.astutil import target_root
+from repro.lint.engine import FileContext, Finding, rule
+
+#: first parameters that denote the observer itself, whose own state is
+#: fair game
+_SELF_NAMES = {"self", "cls"}
+
+
+def _function_params(fn: ast.AST) -> Set[str]:
+    args = fn.args
+    names = {a.arg for a in args.args}
+    names |= {a.arg for a in args.posonlyargs}
+    names |= {a.arg for a in args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names - _SELF_NAMES
+
+
+@rule("P001", "observer-write",
+      "observer mutates an object it was handed to observe")
+def check_observer_writes(ctx: FileContext) -> Iterable[Finding]:
+    if not ctx.is_observer:
+        return
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = _function_params(fn)
+        if not params:
+            continue
+        # only this function's own statements: nested defs get their
+        # own visit with their own parameter set
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and stmt is not fn:
+                continue
+            targets = ()
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = (stmt.target,)
+            elif isinstance(stmt, ast.Delete):
+                targets = tuple(stmt.targets)
+            for t in targets:
+                if not isinstance(t, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = target_root(t)
+                if root in params:
+                    yield ctx.finding(
+                        t, "P001",
+                        f"observer writes through parameter `{root}`: "
+                        "observers must read, never mutate",
+                        hint="keep derived state on the observer object "
+                             "(self.*); the subject stays untouched",
+                    )
+
+
+@rule("P002", "observer-rng",
+      "observer draws from an RNG stream")
+def check_observer_rng(ctx: FileContext) -> Iterable[Finding]:
+    if not ctx.is_observer:
+        return
+    for node in ast.walk(ctx.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("stream", "numpy_stream")):
+            yield ctx.finding(
+                node, "P002",
+                f"observer calls .{node.func.attr}(): creating or "
+                "advancing an RNG stream perturbs seeded runs",
+                hint="observers must not draw randomness; sample "
+                     "deterministically (e.g. every Nth event) instead",
+            )

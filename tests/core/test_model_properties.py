@@ -6,10 +6,9 @@ pdf↔cdf relation, the general CDF's reductions and its integral link to
 the exact mean, the p→0/p→1 limits, and the eq. 12 ↔ eq. 13 round-trip.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-
-import pytest
 
 from repro.core.model import (
     cdf_vacation,

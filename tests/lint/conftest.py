@@ -1,0 +1,53 @@
+"""Helpers for the lint-rule fixture suite."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional, Tuple
+
+from repro.lint.engine import Finding, LintConfig, lint_file
+
+
+def lint_source(
+    source: str,
+    path: str = "src/repro/kernel/fixture.py",
+    select: Tuple[str, ...] = (),
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one in-memory module; returns (active, suppressed)."""
+    cfg = LintConfig(select=select)
+    return lint_file(path, textwrap.dedent(source), cfg)
+
+
+def rule_ids(findings: List[Finding]) -> List[str]:
+    return [f.rule_id for f in findings]
+
+
+def only(findings: List[Finding], rule_id: str) -> List[Finding]:
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+def assert_clean(
+    source: str,
+    rule_id: str,
+    path: str = "src/repro/kernel/fixture.py",
+) -> None:
+    active, _ = lint_source(source, path=path)
+    bad = only(active, rule_id)
+    assert not bad, f"expected no {rule_id}, got: {bad}"
+
+
+def assert_flags(
+    source: str,
+    rule_id: str,
+    path: str = "src/repro/kernel/fixture.py",
+    count: Optional[int] = None,
+) -> List[Finding]:
+    active, _ = lint_source(source, path=path)
+    found = only(active, rule_id)
+    assert found, f"expected {rule_id}, got only: {rule_ids(active)}"
+    if count is not None:
+        assert len(found) == count, (
+            f"expected {count} {rule_id} finding(s), got {len(found)}: "
+            f"{found}"
+        )
+    return found

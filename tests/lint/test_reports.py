@@ -1,0 +1,130 @@
+"""Output formats, baseline round-trip, and CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cli import main as cli_main
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import LintConfig, run_lint
+from repro.lint.report import render_json, render_sarif, render_text
+
+BAD = """\
+import random
+import time
+
+
+def f(sq, kt):
+    t0 = time.time()
+    if sq.lock.try_acquire(kt):
+        return random.random() + t0
+"""
+
+
+def _tree(tmp_path, source=BAD):
+    pkg = tmp_path / "src" / "repro" / "kernel"
+    pkg.mkdir(parents=True)
+    (pkg / "fixture.py").write_text(source)
+    return str(tmp_path)
+
+
+def test_text_report_lists_location_rule_and_hint(tmp_path):
+    cfg = LintConfig(root=_tree(tmp_path))
+    text = render_text(run_lint(cfg))
+    assert "src/repro/kernel/fixture.py:6:10: D002" in text
+    assert "hint:" in text
+    assert "finding(s) in 1 file(s)" in text
+
+
+def test_json_report_is_sorted_and_complete(tmp_path):
+    cfg = LintConfig(root=_tree(tmp_path))
+    doc = json.loads(render_json(run_lint(cfg)))
+    rules = [f["rule"] for f in doc["findings"]]
+    assert rules == sorted(rules) or doc["findings"] == sorted(
+        doc["findings"], key=lambda f: (f["path"], f["line"], f["col"]))
+    assert set(doc["counts"]) == {"D001", "D002", "L001"}
+    assert doc["files"] == 1
+
+
+def test_sarif_structure(tmp_path):
+    cfg = LintConfig(root=_tree(tmp_path))
+    doc = json.loads(render_sarif(run_lint(cfg)))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"D001", "D002", "L001", "P001", "A003"} <= ids
+    res = run["results"]
+    assert len(res) == 3
+    loc = res[0]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].endswith("fixture.py")
+    assert loc["region"]["startLine"] >= 1
+
+
+def test_baseline_round_trip_silences_then_ratchets(tmp_path):
+    root = _tree(tmp_path)
+    cfg = LintConfig(root=root)
+    bl = os.path.join(root, "lint-baseline.json")
+    n = write_baseline(bl, cfg)
+    assert n == 3
+    entries = load_baseline(bl)
+    assert len(entries) == 3
+    # with the baseline applied, the tree reports clean
+    result = run_lint(cfg, baseline_fingerprints=entries.keys())
+    assert result.ok
+    assert len(result.baselined) == 3
+    # fixing one finding leaves its entry stale but the tree still clean
+    fixture = os.path.join(root, "src/repro/kernel/fixture.py")
+    src = open(fixture).read().replace("t0 = time.time()", "t0 = 0")
+    open(fixture, "w").write(src)
+    result = run_lint(cfg, baseline_fingerprints=entries.keys())
+    assert result.ok
+    assert len(result.baselined) == 2
+
+
+def test_cli_exit_codes_and_strict_baseline_refusal(tmp_path, capsys):
+    root = _tree(tmp_path)
+    # findings -> exit 1
+    assert cli_main(["lint", "--root", root]) == 1
+    capsys.readouterr()
+    # baseline them -> exit 0
+    assert cli_main(["lint", "--root", root, "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert cli_main(["lint", "--root", root]) == 0
+    capsys.readouterr()
+    # strict refuses the non-empty baseline AND re-reports the findings
+    rc = cli_main(["lint", "--root", root, "--strict"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "grandfathered" in out
+    assert "D002" in out
+
+
+def test_cli_rule_selection(tmp_path, capsys):
+    root = _tree(tmp_path)
+    rc = cli_main(["lint", "--root", root, "--rule", "D002",
+                   "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert set(doc["counts"]) == {"D002"}
+
+
+def test_cli_unknown_path_reports_nothing(tmp_path, capsys):
+    root = _tree(tmp_path)
+    rc = cli_main(["lint", "--root", root, "src/repro/kernel",
+                   "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert doc["files"] == 1
+
+
+def test_cli_out_file(tmp_path, capsys):
+    root = _tree(tmp_path)
+    out = os.path.join(root, "lint.sarif")
+    rc = cli_main(["lint", "--root", root, "--format", "sarif",
+                   "--out", out])
+    assert rc == 1
+    assert "-> " in capsys.readouterr().out
+    doc = json.load(open(out))
+    assert doc["version"] == "2.1.0"

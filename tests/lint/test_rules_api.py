@@ -1,0 +1,186 @@
+"""True-positive / true-negative / suppression cases for A001–A003."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import assert_clean, assert_flags, lint_source, only
+
+# ---------------------------------------------------------------------- #
+# A001 — Handle reuse after cancel()
+# ---------------------------------------------------------------------- #
+
+
+def test_a001_flags_use_after_cancel():
+    found = assert_flags(
+        """
+        def stop(handle):
+            handle.cancel()
+            return handle.time
+        """,
+        "A001", count=1,
+    )
+    assert "handle.time" in found[0].message
+
+
+def test_a001_flags_attribute_rooted_handles():
+    assert_flags(
+        """
+        class Timer:
+            def disarm(self):
+                self._handle.cancel()
+                self._expiry = self._handle.time
+        """,
+        "A001", count=1,
+    )
+
+
+def test_a001_allows_status_reads_after_cancel():
+    assert_clean(
+        """
+        def stop(handle):
+            handle.cancel()
+            assert handle.cancelled or handle.fired
+            handle.cancel()  # idempotent
+        """,
+        "A001",
+    )
+
+
+def test_a001_allows_rebinding_after_cancel():
+    assert_clean(
+        """
+        def rearm(sim, handle, when):
+            handle.cancel()
+            handle = sim.call_at(when, noop)
+            return handle.time
+        """,
+        "A001",
+    )
+
+
+def test_a001_use_before_cancel_is_clean():
+    assert_clean(
+        """
+        def stop(handle):
+            when = handle.time
+            handle.cancel()
+            return when
+        """,
+        "A001",
+    )
+
+
+def test_a001_suppression():
+    active, suppressed = lint_source(
+        """
+        def audit(handle):
+            handle.cancel()
+            # repro: allow[A001] post-mortem inspection in a debug dump
+            return handle.time
+        """,
+    )
+    assert not only(active, "A001")
+    assert only(suppressed, "A001")
+
+
+# ---------------------------------------------------------------------- #
+# A002 — ad-hoc tracer=/checks= objects
+# ---------------------------------------------------------------------- #
+
+
+def test_a002_flags_fresh_tracer_at_call_site():
+    assert_flags(
+        """
+        def make_lock(name):
+            return TryLock(name, tracer=Tracer(capacity=100))
+        """,
+        "A002", count=1,
+    )
+
+
+def test_a002_flags_fresh_checks_registry():
+    assert_flags(
+        """
+        def make_lock(name, machine):
+            return TryLock(name, checks=CheckRegistry())
+        """,
+        "A002", count=1,
+    )
+
+
+def test_a002_allows_threaded_machine_state():
+    assert_clean(
+        """
+        def make_lock(name, machine):
+            return TryLock(name, tracer=machine.tracer,
+                           checks=machine.checks)
+        """,
+        "A002",
+    )
+
+
+def test_a002_allows_none():
+    assert_clean(
+        """
+        def make_lock(name):
+            return TryLock(name, tracer=None, checks=None)
+        """,
+        "A002",
+    )
+
+
+def test_a002_suppression():
+    active, suppressed = lint_source(
+        """
+        def bench_lock(name):
+            # repro: allow[A002] microbenchmark isolates one lock with a
+            # private tracer on purpose
+            return TryLock(name, tracer=Tracer(capacity=10))
+        """,
+    )
+    assert not only(active, "A002")
+    assert only(suppressed, "A002")
+
+
+# ---------------------------------------------------------------------- #
+# A003 — bare except
+# ---------------------------------------------------------------------- #
+
+
+def test_a003_flags_bare_except():
+    assert_flags(
+        """
+        def guard(cb):
+            try:
+                cb()
+            except:
+                pass
+        """,
+        "A003", count=1,
+    )
+
+
+def test_a003_allows_narrow_except():
+    assert_clean(
+        """
+        def guard(cb):
+            try:
+                cb()
+            except ValueError:
+                pass
+        """,
+        "A003",
+    )
+
+
+def test_a003_suppression():
+    active, suppressed = lint_source(
+        """
+        def last_ditch(cb):
+            try:
+                cb()
+            except:  # repro: allow[A003] crash shield around user plugin
+                pass
+        """,
+    )
+    assert not only(active, "A003")
+    assert only(suppressed, "A003")

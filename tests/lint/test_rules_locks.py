@@ -1,0 +1,228 @@
+"""True-positive / true-negative / suppression cases for L001–L002.
+
+The fixtures mirror the real drain loop in
+:meth:`repro.core.metronome.MetronomeGroup._body` and the failure modes
+the paper's trylock discipline (§3.2) must exclude.
+"""
+
+from __future__ import annotations
+
+from tests.lint.conftest import assert_clean, assert_flags, lint_source, only
+
+# ---------------------------------------------------------------------- #
+# L001 — leaked acquisition
+# ---------------------------------------------------------------------- #
+
+
+def test_l001_flags_plain_leak():
+    assert_flags(
+        """
+        def drain(sq, kt):
+            if sq.lock.try_acquire(kt):
+                sq.queue.rx_burst(32)
+        """,
+        "L001", count=1,
+    )
+
+
+def test_l001_flags_leak_on_early_return():
+    found = assert_flags(
+        """
+        def drain(sq, kt):
+            if sq.lock.try_acquire(kt):
+                if sq.queue.occupancy() == 0:
+                    return 0
+                n = sq.queue.rx_burst(32)
+                sq.lock.release(kt)
+                return n
+            return 0
+        """,
+        "L001", count=1,
+    )
+    assert "some path" in found[0].message
+
+
+def test_l001_flags_discarded_acquire_result():
+    assert_flags(
+        """
+        def drain(sq, kt):
+            sq.lock.try_acquire(kt)
+            sq.queue.rx_burst(32)
+        """,
+        "L001", count=1,
+    )
+
+
+def test_l001_flags_leak_via_continue():
+    assert_flags(
+        """
+        def scan(queues, kt):
+            for sq in queues:
+                if not sq.lock.try_acquire(kt):
+                    continue
+                if sq.queue.occupancy() == 0:
+                    continue
+                sq.queue.rx_burst(32)
+                sq.lock.release(kt)
+        """,
+        "L001", count=1,
+    )
+
+
+def test_l001_allows_metronome_drain_loop():
+    # the real pattern: rotate scan, trylock each queue, drain, release
+    assert_clean(
+        """
+        def body(group, kt, stats):
+            while stats.alive:
+                for sq in group.shared:
+                    yield Compute(30)
+                    if not sq.lock.try_acquire(kt):
+                        stats.busy_tries += 1
+                        continue
+                    while True:
+                        n, tagged = sq.queue.rx_burst(32)
+                        if n == 0:
+                            break
+                        stats.packets += n
+                    sq.lock.release(kt)
+                yield from group.service.call(kt, group.timeout)
+        """,
+        "L001",
+    )
+
+
+def test_l001_allows_try_finally_release():
+    assert_clean(
+        """
+        def drain(sq, kt):
+            if sq.lock.try_acquire(kt):
+                try:
+                    sq.queue.rx_burst(32)
+                finally:
+                    sq.lock.release(kt)
+        """,
+        "L001",
+    )
+
+
+def test_l001_allows_flag_variable_pairing():
+    assert_clean(
+        """
+        def drain(sq, kt):
+            got = sq.lock.try_acquire(kt)
+            if got:
+                sq.queue.rx_burst(32)
+            if got:
+                sq.lock.release(kt)
+        """,
+        "L001",
+    )
+
+
+def test_l001_loop_carried_acquire_release_each_iteration():
+    assert_clean(
+        """
+        def pump(sq, kt, rounds):
+            for _ in range(rounds):
+                if not sq.lock.try_acquire(kt):
+                    continue
+                sq.queue.rx_burst(32)
+                sq.lock.release(kt)
+        """,
+        "L001",
+    )
+
+
+def test_l001_crash_paths_exempt():
+    assert_clean(
+        """
+        def drain(sq, kt):
+            if sq.lock.try_acquire(kt):
+                if sq.queue.corrupted:
+                    raise RuntimeError("ring corrupt")
+                sq.queue.rx_burst(32)
+                sq.lock.release(kt)
+        """,
+        "L001",
+    )
+
+
+def test_l001_suppression():
+    active, suppressed = lint_source(
+        """
+        def handoff(sq, kt):
+            # repro: allow[L001] ownership intentionally transferred to
+            # the watchdog, which releases on the sleeper's behalf
+            if sq.lock.try_acquire(kt):
+                sq.watchdog.adopt(sq.lock, kt)
+        """,
+    )
+    assert not only(active, "L001")
+    assert only(suppressed, "L001")
+
+
+# ---------------------------------------------------------------------- #
+# L002 — release without a dominating acquire
+# ---------------------------------------------------------------------- #
+
+
+def test_l002_flags_release_on_failure_branch():
+    assert_flags(
+        """
+        def bad(sq, kt):
+            if not sq.lock.try_acquire(kt):
+                sq.lock.release(kt)
+        """,
+        "L002", count=1,
+    )
+
+
+def test_l002_flags_release_before_acquire():
+    assert_flags(
+        """
+        def bad(sq, kt):
+            sq.lock.release(kt)
+            if sq.lock.try_acquire(kt):
+                sq.lock.release(kt)
+        """,
+        "L002", count=1,
+    )
+
+
+def test_l002_allows_guarded_release():
+    assert_clean(
+        """
+        def good(sq, kt):
+            if sq.lock.try_acquire(kt):
+                sq.lock.release(kt)
+        """,
+        "L002",
+    )
+
+
+def test_l002_ignores_functions_without_acquire():
+    # intraprocedural analysis cannot see the caller's acquire; a
+    # release-only helper must not be flagged
+    assert_clean(
+        """
+        def finish(sq, kt):
+            sq.txbuf.flush()
+            sq.lock.release(kt)
+        """,
+        "L002",
+    )
+
+
+def test_l002_suppression():
+    active, suppressed = lint_source(
+        """
+        def recover(sq, kt):
+            if not sq.lock.try_acquire(kt):
+                # repro: allow[L002] crash recovery: the dead owner can
+                # never release, so the watchdog force-releases
+                sq.lock.release(sq.lock.owner)
+        """,
+    )
+    assert not only(active, "L002")
+    assert only(suppressed, "L002")

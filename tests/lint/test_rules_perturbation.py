@@ -1,0 +1,111 @@
+"""True-positive / true-negative / suppression cases for P001–P002."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import assert_clean, assert_flags, lint_source, only
+
+OBSERVER = "src/repro/trace/fixture.py"
+METRICS = "src/repro/metrics/fixture.py"
+CHECK = "src/repro/check/fixture.py"
+
+
+def test_p001_flags_write_through_parameter():
+    found = assert_flags(
+        """
+        class Spy:
+            def on_fire(self, timer, machine):
+                timer.expiry = 0
+        """,
+        "P001", path=OBSERVER, count=1,
+    )
+    assert "`timer`" in found[0].message
+
+
+def test_p001_flags_augmented_and_subscript_writes():
+    assert_flags(
+        """
+        def on_ring(registry, ring):
+            ring.stats["seen"] += 1
+        """,
+        "P001", path=CHECK, count=1,
+    )
+
+
+def test_p001_allows_observer_own_state():
+    assert_clean(
+        """
+        class Monitor:
+            def on_pick(self, thread):
+                self.picks += 1
+                self.last = thread.name
+        """,
+        "P001", path=METRICS,
+    )
+
+
+def test_p001_only_applies_to_observer_modules():
+    assert_clean(
+        """
+        def tune(tuner, record):
+            tuner.ts_ns = record.vacation_ns
+        """,
+        "P001", path="src/repro/core/fixture.py",
+    )
+
+
+def test_p001_suppression():
+    active, suppressed = lint_source(
+        """
+        class Exporter:
+            def finish(self, report):
+                # repro: allow[P001] report is this exporter's own output
+                # object, handed in only to be filled
+                report.done = True
+        """,
+        path=OBSERVER,
+    )
+    assert not only(active, "P001")
+    assert only(suppressed, "P001")
+
+
+def test_p002_flags_stream_calls_in_observers():
+    assert_flags(
+        """
+        def sample(machine):
+            return machine.streams.stream("spy").random()
+        """,
+        "P002", path=OBSERVER, count=1,
+    )
+
+
+def test_p002_flags_numpy_stream_in_check():
+    assert_flags(
+        """
+        def sample(streams):
+            return streams.numpy_stream("oracle")
+        """,
+        "P002", path=CHECK, count=1,
+    )
+
+
+def test_p002_allows_streams_outside_observers():
+    assert_clean(
+        """
+        def traffic(machine):
+            return machine.streams.numpy_stream("nic")
+        """,
+        "P002", path="src/repro/nic/fixture.py",
+    )
+
+
+def test_p002_suppression():
+    active, suppressed = lint_source(
+        """
+        def driver(seed, streams):
+            # repro: allow[P002] workload driver, not an observer
+            return streams.numpy_stream("check")
+        """,
+        path=CHECK,
+    )
+    assert not only(active, "P002")
+    assert only(suppressed, "P002")

@@ -1,0 +1,110 @@
+"""Suppression syntax, hygiene meta-rules (S001/S002), and parsing."""
+
+from __future__ import annotations
+
+from repro.lint.engine import parse_suppressions
+
+from tests.lint.conftest import lint_source, only
+
+
+def test_parse_inline_and_standalone():
+    src = (
+        "x = 1  # repro: allow[D001] inline reason\n"
+        "# repro: allow[L001,L002] standalone reason\n"
+        "y = 2\n"
+    )
+    sups = parse_suppressions(src)
+    assert len(sups) == 2
+    assert sups[0].line == 1 and sups[0].rule_ids == ("D001",)
+    assert sups[1].rule_ids == ("L001", "L002")
+    assert sups[1].reason == "standalone reason"
+
+
+def test_marker_inside_string_is_not_a_suppression():
+    src = 's = "# repro: allow[D001] not a comment"\n'
+    assert parse_suppressions(src) == []
+
+
+def test_s001_reasonless_suppression_is_a_finding():
+    active, _ = lint_source(
+        """
+        import random
+
+        def f():
+            return random.random()  # repro: allow[D001]
+        """,
+    )
+    s001 = only(active, "S001")
+    assert len(s001) == 1
+    assert "no reason" in s001[0].message
+    # the suppression still silences the original finding
+    assert not only(active, "D001")
+
+
+def test_s002_unused_suppression_is_a_finding():
+    active, _ = lint_source(
+        """
+        def f():
+            return 1  # repro: allow[D001] nothing here draws randomness
+        """,
+    )
+    s002 = only(active, "S002")
+    assert len(s002) == 1
+    assert "unused" in s002[0].message.lower()
+
+
+def test_s002_not_judged_when_target_rule_unselected():
+    src = """
+    def f():
+        return 1  # repro: allow[D001] covers a rule that did not run
+    """
+    # D001 never ran, so the suppression matching nothing proves nothing
+    active, _ = lint_source(src, select=("S002",))
+    assert not only(active, "S002")
+    # with D001 selected too, the staleness is real
+    active, _ = lint_source(src, select=("D001", "S002"))
+    assert only(active, "S002")
+
+
+def test_multi_id_suppression_covers_both_rules():
+    active, suppressed = lint_source(
+        """
+        def bad(sq, kt):
+            if not sq.lock.try_acquire(kt):
+                # repro: allow[L001, L002] fixture exercising both ids
+                sq.lock.release(kt)
+        """,
+    )
+    assert not only(active, "L002")
+    assert only(suppressed, "L002")
+    # L001 fires at the acquire line, which the comment does not cover
+    assert only(active, "L001")
+
+
+def test_standalone_comment_skips_blank_and_comment_lines():
+    active, suppressed = lint_source(
+        """
+        import time
+
+        def f():
+            # repro: allow[D002] wall-clock needed for the wait loop
+            # (second explanatory line)
+
+            return time.monotonic()
+        """,
+    )
+    assert not only(active, "D002")
+    assert only(suppressed, "D002")
+
+
+def test_suppression_for_wrong_rule_does_not_silence():
+    active, _ = lint_source(
+        """
+        import time
+
+        def f():
+            return time.monotonic()  # repro: allow[D001] wrong id
+        """,
+    )
+    assert only(active, "D002")
+    assert only(active, "S002")  # and the D001 suppression is unused

@@ -1,11 +1,11 @@
 """Unit tests for the NIC port and its interrupt support."""
 
+import pytest
+
 from repro.nic.device import NicPort
 from repro.nic.traffic import CbrProcess, RampProfile
 from repro.sim.core import Simulator
 from repro.sim.units import MS
-
-import pytest
 
 
 def test_port_needs_queues():
