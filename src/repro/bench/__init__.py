@@ -1,0 +1,11 @@
+"""``repro bench`` — performance tracking as a first-class artifact.
+
+This package lives in wall-clock time by design (it measures it); it is
+on the lint engine's wall-clock allowlist alongside ``campaign/`` and
+``tools/``.  Everything simulated that it drives still runs on virtual
+time.
+"""
+
+from repro.bench.perf import check_result, load_baseline, run_benches
+
+__all__ = ["check_result", "load_baseline", "run_benches"]

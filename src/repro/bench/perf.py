@@ -1,0 +1,273 @@
+"""Microbenchmarks for the event core, the NIC ring, and whole figures.
+
+The suite emits ``BENCH_perf.json`` (see ``docs/PERF.md`` for the
+schema) and can gate CI against a committed baseline.  Two kinds of
+numbers are reported:
+
+* **speedups** — the calendar-queue :class:`~repro.sim.core.Simulator`
+  measured against the frozen pre-calendar heap loop
+  (:class:`~repro.sim.reference.HeapSimulator`) *on the same machine, in
+  the same process*.  Ratios cancel out host speed, so they are the
+  numbers CI gates on.
+* **absolutes** (events/sec, packets/sec, per-figure wall seconds) —
+  machine-dependent, recorded for the PR-over-PR trajectory only.
+
+The churn workload is the simulator-level shape of a Metronome
+deployment: a steady tick of near-future work (sleep expiries) plus a
+fan of long-horizon watchdog timers that are almost always cancelled
+and re-armed (the paper's backup timeout).  Under the old heap every
+cancelled watchdog stayed buried until its far-future expiry, so the
+heap grew without bound; the calendar queue compacts tombstones away,
+which is where the large speedup comes from.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+SCHEMA_VERSION = 1
+
+#: regression tolerance against the committed baseline (CI gate)
+RATIO_TOLERANCE = 0.8
+#: hard floor for the churn speedup in full mode (the headline claim)
+CHURN_SPEEDUP_FLOOR = 3.0
+#: softer floor for the short quick-mode run (more variance)
+CHURN_SPEEDUP_FLOOR_QUICK = 2.0
+
+#: representative figures timed wall-clock (cheap, mid, multi-queue XDP)
+BENCH_FIGURES = ("fig7", "fig9", "fig12")
+
+
+# --------------------------------------------------------------------- #
+# event-core microbenchmarks
+# --------------------------------------------------------------------- #
+
+
+def _churn_workload(sim, iters: int, watchdogs: int,
+                    tick_ns: int = 5_000,
+                    watchdog_ns: int = 10_000_000_000) -> int:
+    """Tick every ``tick_ns``; each tick cancels and re-arms ``watchdogs``
+    far-future timers (the T_S re-arm / backup-watchdog pattern).
+
+    Returns the number of callbacks actually fired.
+    """
+    state = {"n": 0, "wd": []}
+
+    def noop() -> None:
+        pass
+
+    def tick() -> None:
+        n = state["n"] = state["n"] + 1
+        for handle in state["wd"]:
+            handle.cancel()
+        if n < iters:
+            state["wd"] = [
+                sim.call_after(watchdog_ns, noop) for _ in range(watchdogs)
+            ]
+            sim.call_after(tick_ns, tick)
+
+    sim.call_after(tick_ns, tick)
+    sim.run()
+    return state["n"]
+
+
+def _fire_workload(sim, iters: int, chains: int = 32,
+                   tick_ns: int = 5_000) -> int:
+    """Pure schedule→fire, no cancels: ``chains`` interleaved 5 µs tick
+    chains, the shape of M metronome threads plus per-queue timers all
+    live at once (a single chain would just benchmark a 1-element heap).
+    """
+    state = {"n": 0}
+
+    def tick() -> None:
+        n = state["n"] = state["n"] + 1
+        if n < iters:
+            sim.call_after(tick_ns, tick)
+
+    for i in range(chains):
+        sim.call_after(tick_ns + i * 157, tick)
+    sim.run()
+    return state["n"]
+
+
+def _time_events(sim_factory: Callable[[], object],
+                 workload: Callable[..., int], *args,
+                 repeats: int = 2) -> float:
+    """Events fired per wall-clock second, best of ``repeats`` runs.
+
+    Best-of damps scheduler noise, which matters because the CI gate
+    reads the *ratio* of two of these measurements.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        sim = sim_factory()
+        t0 = time.perf_counter()
+        fired = workload(sim, *args)
+        eps = fired / (time.perf_counter() - t0)
+        if eps > best:
+            best = eps
+    return best
+
+
+def bench_event_churn(quick: bool) -> Dict[str, float]:
+    from repro.sim.core import Simulator
+    from repro.sim.reference import HeapSimulator
+
+    iters = 30_000 if quick else 100_000
+    watchdogs = 16
+    new_eps = _time_events(Simulator, _churn_workload, iters, watchdogs)
+    old_eps = _time_events(HeapSimulator, _churn_workload, iters, watchdogs)
+    return {
+        "iters": iters,
+        "watchdogs_per_tick": watchdogs,
+        "events_per_sec": round(new_eps, 1),
+        "heap_events_per_sec": round(old_eps, 1),
+        "speedup": round(new_eps / old_eps, 3),
+    }
+
+
+def bench_event_fire(quick: bool) -> Dict[str, float]:
+    from repro.sim.core import Simulator
+    from repro.sim.reference import HeapSimulator
+
+    iters = 100_000 if quick else 300_000
+    new_eps = _time_events(Simulator, _fire_workload, iters)
+    old_eps = _time_events(HeapSimulator, _fire_workload, iters)
+    return {
+        "iters": iters,
+        "events_per_sec": round(new_eps, 1),
+        "heap_events_per_sec": round(old_eps, 1),
+        "speedup": round(new_eps / old_eps, 3),
+    }
+
+
+# --------------------------------------------------------------------- #
+# NIC ring throughput
+# --------------------------------------------------------------------- #
+
+
+def bench_nic_ring(quick: bool) -> Dict[str, float]:
+    """Packets/sec drained through one Rx ring by a poll loop.
+
+    CBR at 10 Mpps simulated; the wall-clock cost per packet is the
+    queue's lazy arrival accounting plus the burst drain.
+    """
+    from repro.nic.rxqueue import RxQueue
+    from repro.nic.traffic import CbrProcess
+    from repro.sim.core import Simulator
+
+    target = 2_000_000 if quick else 8_000_000
+    sim = Simulator()
+    queue = RxQueue(sim, CbrProcess(10_000_000), sample_every=64)
+    state = {"drained": 0}
+
+    def poll() -> None:
+        got, _tagged = queue.rx_burst(32)
+        state["drained"] += got
+        if state["drained"] < target:
+            sim.call_after(3_000, poll)
+
+    sim.call_after(3_000, poll)
+    t0 = time.perf_counter()
+    sim.run()
+    dt = time.perf_counter() - t0
+    return {
+        "packets": state["drained"],
+        "packets_per_sec": round(state["drained"] / dt, 1),
+    }
+
+
+# --------------------------------------------------------------------- #
+# whole-figure wall clock
+# --------------------------------------------------------------------- #
+
+
+def bench_figures(quick: bool) -> Dict[str, Dict[str, float]]:
+    from repro.campaign import run_figure
+
+    scale = 0.25 if quick else 0.5
+    out: Dict[str, Dict[str, float]] = {}
+    for name in BENCH_FIGURES:
+        t0 = time.perf_counter()
+        run_figure(name, scale=scale, seed=2020)
+        out[name] = {
+            "scale": scale,
+            "wall_s": round(time.perf_counter() - t0, 3),
+        }
+    return out
+
+
+# --------------------------------------------------------------------- #
+# suite driver + baseline gate
+# --------------------------------------------------------------------- #
+
+
+def run_benches(quick: bool = False,
+                skip_figures: bool = False,
+                progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the full suite and return the ``BENCH_perf.json`` payload."""
+    say = progress or (lambda _msg: None)
+    say("event churn (calendar vs frozen heap)...")
+    churn = bench_event_churn(quick)
+    say(f"  {churn['events_per_sec']:,.0f} ev/s, speedup {churn['speedup']:.2f}x")
+    say("event fire (pure schedule->fire chain)...")
+    fire = bench_event_fire(quick)
+    say(f"  {fire['events_per_sec']:,.0f} ev/s, speedup {fire['speedup']:.2f}x")
+    say("nic ring (poll-mode burst drain)...")
+    nic = bench_nic_ring(quick)
+    say(f"  {nic['packets_per_sec']:,.0f} pkt/s")
+    benches: Dict[str, object] = {
+        "event_churn": churn,
+        "event_fire": fire,
+        "nic_ring": nic,
+    }
+    if not skip_figures:
+        say(f"figures {', '.join(BENCH_FIGURES)} wall-clock...")
+        benches["figures"] = bench_figures(quick)
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "unix_time": round(time.time(), 1),
+        "benches": benches,
+    }
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_result(result: Dict, baseline: Optional[Dict] = None) -> List[str]:
+    """Regression gate.  Returns human-readable failures (empty = pass).
+
+    Only machine-independent ratios are gated: the churn speedup has a
+    hard floor (the PR's headline claim) and both speedups must stay
+    within ``RATIO_TOLERANCE`` of the committed baseline.  Absolute
+    events/sec and packets/sec are trajectory data, never gated.
+    """
+    failures: List[str] = []
+    benches = result["benches"]
+    quick = result.get("mode") == "quick"
+    floor = CHURN_SPEEDUP_FLOOR_QUICK if quick else CHURN_SPEEDUP_FLOOR
+    churn = benches["event_churn"]["speedup"]
+    if churn < floor:
+        failures.append(
+            f"event_churn speedup {churn:.2f}x below the {floor:.1f}x floor"
+        )
+    if baseline is not None:
+        base = baseline["benches"]
+        for name in ("event_churn", "event_fire"):
+            if name not in base:
+                continue
+            ref = base[name]["speedup"]
+            got = benches[name]["speedup"]
+            if got < ref * RATIO_TOLERANCE:
+                failures.append(
+                    f"{name} speedup {got:.2f}x regressed >20% against "
+                    f"baseline {ref:.2f}x"
+                )
+    return failures

@@ -374,6 +374,30 @@ def _check_cmd(args) -> int:
     return 1 if failed else 0
 
 
+def _bench_cmd(args) -> int:
+    """``repro bench``: perf microbenchmarks (docs/PERF.md)."""
+    import json
+
+    from repro.bench import check_result, load_baseline, run_benches
+
+    result = run_benches(
+        quick=args.quick, skip_figures=args.skip_figures, progress=print
+    )
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    baseline = load_baseline(args.check) if args.check else None
+    failures = check_result(result, baseline)
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if not failures:
+        churn = result["benches"]["event_churn"]
+        print(f"ok: churn speedup {churn['speedup']:.2f}x over the "
+              "pre-calendar heap loop")
+    return 1 if failures else 0
+
+
 def _campaign_cmd(args) -> int:
     """``repro campaign``: sharded, cached sweeps (docs/CAMPAIGN.md)."""
     from repro import campaign as camp
@@ -615,6 +639,18 @@ def build_parser() -> argparse.ArgumentParser:
     cst = casub.add_parser(
         "status", help="show the last campaign summary and cache stats")
     cst.add_argument("--results-dir", default=None)
+    be = sub.add_parser(
+        "bench",
+        help="performance microbenchmarks; emits BENCH_perf.json")
+    be.add_argument("--quick", action="store_true",
+                    help="shorter runs for CI smoke (~15s total)")
+    be.add_argument("--out", default="BENCH_perf.json",
+                    help="output JSON path (default BENCH_perf.json)")
+    be.add_argument("--check", default=None, metavar="BASELINE",
+                    help="gate against a committed baseline JSON; exit 1 "
+                         "on >20% speedup regression or a floor miss")
+    be.add_argument("--skip-figures", action="store_true",
+                    help="skip the whole-figure wall-clock timings")
     qs = [p for p in sub.choices.values()]
     for p in qs:
         if p.prog.endswith("quickstart"):
@@ -648,6 +684,8 @@ def main(argv: List[str] = None) -> int:
         return _check_cmd(args)
     if args.command == "campaign":
         return _campaign_cmd(args)
+    if args.command == "bench":
+        return _bench_cmd(args)
     if args.command == "lint":
         from repro.lint.main import main as lint_main
 

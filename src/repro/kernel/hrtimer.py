@@ -17,6 +17,7 @@ Timers are armed on the calling thread's core, like Linux pins an
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
 from repro import config
@@ -47,6 +48,9 @@ class HrTimer:
             self.cancelled = True
             if self._handle is not None:
                 self._handle.cancel()
+            # prune immediately: _fire can no longer run for this timer,
+            # so leaving it in _armed would leak it forever
+            self.queue._armed.pop(id(self), None)
             tracer = self.queue.machine.tracer
             if tracer.enabled:
                 tracer.timer_cancel(self.queue.core.index, self.expiry)
@@ -63,7 +67,12 @@ class HrTimerQueue:
         self.machine = machine
         self.sim = machine.sim
         self.core = core
-        self._armed: dict = {}   # id(timer) -> timer, for next_expiry scans
+        self._armed: dict = {}   # id(timer) -> timer
+        #: lazy min-heap of (expiry, seq, timer); stale entries (timer
+        #: fired or cancelled) are pruned at the top on read, making
+        #: next_expiry() amortized O(1) instead of an O(n) scan
+        self._expiry_heap: list = []
+        self._arm_seq = 0
         self.fired_count = 0
 
     def arm(self, expiry: int, callback: Callable[[], None]) -> HrTimer:
@@ -78,6 +87,8 @@ class HrTimerQueue:
             expiry + config.TIMER_IRQ_LATENCY_NS, self._fire, timer
         )
         self._armed[id(timer)] = timer
+        self._arm_seq += 1
+        heappush(self._expiry_heap, (expiry, self._arm_seq, timer))
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.timer_arm(self.core.index, expiry)
@@ -85,8 +96,14 @@ class HrTimerQueue:
 
     def next_expiry(self) -> Optional[int]:
         """Earliest pending expiry on this core (menu-governor input)."""
-        live = [t.expiry for t in self._armed.values() if not t.cancelled]
-        return min(live) if live else None
+        heap = self._expiry_heap
+        while heap:
+            expiry, _, timer = heap[0]
+            if timer.cancelled or timer.fired:
+                heappop(heap)
+                continue
+            return expiry
+        return None
 
     # ------------------------------------------------------------------ #
 
@@ -101,7 +118,9 @@ class HrTimerQueue:
             extra = faults.timer_extra_latency_ns(self.core.index)
             if extra > 0:
                 timer.fault_deferred = True
-                self.sim.call_after(extra, self._fire, timer)
+                # keep _handle pointing at the live event so a cancel
+                # during the deferral removes the pending fire too
+                timer._handle = self.sim.call_after(extra, self._fire, timer)
                 return
         self._armed.pop(id(timer), None)
         timer.fired = True

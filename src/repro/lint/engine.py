@@ -101,6 +101,7 @@ class LintConfig:
     rng_module: str = "src/repro/sim/rng.py"
     #: subtrees that legitimately live in wall-clock time
     wallclock_allow: Tuple[str, ...] = (
+        "src/repro/bench/",
         "src/repro/campaign/",
         "src/repro/lint/",
         "tools/",

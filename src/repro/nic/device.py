@@ -44,7 +44,12 @@ class NicPort:
             )
             for i, proc in enumerate(processes)
         ]
-        self._irq_handles: List[Optional[Handle]] = [None] * len(self.queues)
+        #: queue_index -> (due time, arm order, callback) for armed IRQs
+        self._irq_pending: dict = {}
+        self._irq_arm_seq = 0
+        #: the single scheduled drain event covering all armed queues
+        self._irq_batch: Optional[Handle] = None
+        self._irq_batch_when = 0
 
     # ------------------------------------------------------------------ #
 
@@ -54,27 +59,59 @@ class NicPort:
         Fires ``callback`` at the next packet arrival (one-shot, like an
         MSI-X Rx interrupt with auto-mask).  Returns False if the traffic
         source is finished and no interrupt will ever fire.
+
+        All queues of the port share one scheduled drain event at the
+        earliest pending due time (re-armed only when a new arm moves
+        that minimum earlier), so N concurrently-armed queues cost one
+        calendar insertion instead of N.
         """
-        self.irq_disarm(queue_index)
+        pending = self._irq_pending
+        pending.pop(queue_index, None)
         queue = self.queues[queue_index]
         queue.sync()
         when = queue.next_arrival_after(self.sim.now)
         if when is None:
+            if not pending and self._irq_batch is not None:
+                self._irq_batch.cancel()
+                self._irq_batch = None
             return False
-        self._irq_handles[queue_index] = self.sim.call_at(
-            when, self._fire_irq, queue_index, callback
-        )
+        self._irq_arm_seq += 1
+        pending[queue_index] = (when, self._irq_arm_seq, callback)
+        if self._irq_batch is None or when < self._irq_batch_when:
+            if self._irq_batch is not None:
+                self._irq_batch.cancel()
+            self._irq_batch_when = when
+            self._irq_batch = self.sim.call_at(when, self._drain_irqs)
         return True
 
     def irq_disarm(self, queue_index: int) -> None:
-        handle = self._irq_handles[queue_index]
-        if handle is not None:
-            handle.cancel()
-            self._irq_handles[queue_index] = None
+        self._irq_pending.pop(queue_index, None)
+        if not self._irq_pending and self._irq_batch is not None:
+            # a stale later-due drain for the remaining queues is left in
+            # place only while some queue is armed; empty means cancel
+            self._irq_batch.cancel()
+            self._irq_batch = None
 
-    def _fire_irq(self, queue_index: int, callback: Callable[[], None]) -> None:
-        self._irq_handles[queue_index] = None
-        callback()
+    def _drain_irqs(self) -> None:
+        now = self.sim.now
+        self._irq_batch = None
+        pending = self._irq_pending
+        due = sorted(
+            (seq, qi, cb)
+            for qi, (when, seq, cb) in pending.items()
+            if when <= now
+        )
+        for _, qi, _ in due:
+            del pending[qi]
+        if pending:
+            nxt = min(entry[0] for entry in pending.values())
+            self._irq_batch_when = nxt
+            self._irq_batch = self.sim.call_at(nxt, self._drain_irqs)
+        # deliver in arm order (the order the per-queue events fired in
+        # before batching); callbacks may re-arm, which is safe because
+        # the drain state above is already settled
+        for _, _, cb in due:
+            cb()
 
     # ------------------------------------------------------------------ #
 

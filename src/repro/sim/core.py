@@ -1,10 +1,31 @@
-"""The event loop: a binary-heap calendar queue over an integer ns clock.
+"""The event loop: a bucketed calendar queue over an integer ns clock.
 
-The design favours raw speed: scheduling a callback is a single
-``heappush`` of a 4-tuple and the hot loop in :meth:`Simulator.run` is a
-tight ``heappop`` cycle.  Cancellation is handled with a tombstone flag
-(index 3 of the entry) rather than heap surgery, which is the standard
-trick for high-churn timer queues.
+The paper's §3.1 contrasts the kernel's hierarchical timer wheel with
+the precise ``hr_sleep`` path; the same design argument applies to the
+simulator itself, which sits under every figure, sweep, and chaos run.
+This engine therefore splits the pending-event store the way a calendar
+queue does (generalizing :mod:`repro.kernel.timerwheel`):
+
+* **near future** — a ring of ``_NUM_BUCKETS`` buckets, each
+  ``2**_BUCKET_BITS`` ns wide.  Scheduling is a plain ``list.append``;
+  a bucket is sorted once, when the clock reaches it, and then drained
+  through a cursor.  Bucket storage is recycled through a freelist so
+  the hot path allocates nothing but the entry itself.
+* **far future** — events beyond the ring's horizon fall back to a
+  binary heap, merged with the near stream at pop time.
+* **in-drain arrivals** — callbacks scheduling into the tick currently
+  being drained (``call_after(0, ...)`` chains) go to a small side heap
+  merged with the sorted run.
+
+Cancellation is still a tombstone flag (no structure surgery), but the
+engine keeps a live-entry counter and **compacts** — physically drops
+tombstones from every store — once they outnumber the live entries, so
+cancel-heavy workloads (adaptive T_S re-arms, watchdog early wakes) no
+longer grow the store without bound.
+
+Fire order is exactly the old binary-heap order — ``(time, seq)``, FIFO
+among same-time events — which the property tests assert against the
+frozen pre-calendar loop in :mod:`repro.sim.reference`.
 
 Two levels of abstraction are offered:
 
@@ -16,8 +37,19 @@ Two levels of abstraction are offered:
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional
+
+#: bucket width: 2**16 = 65536 ns (~65 µs — wide enough that µs-scale
+#: event chains land many-per-bucket, amortizing the sort-on-stage)
+_BUCKET_BITS = 16
+#: near-future ring size; horizon = _NUM_BUCKETS << _BUCKET_BITS ≈ 4.2 ms
+_NUM_BUCKETS = 64
+_BUCKET_MASK = _NUM_BUCKETS - 1
+#: recycled bucket-storage lists kept around
+_FREELIST_MAX = 32
+#: tombstones tolerated before a compaction is considered
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -32,17 +64,18 @@ _FIRED = object()
 class Handle:
     """A cancellable reference to a scheduled callback.
 
-    ``Handle`` wraps the mutable heap entry; calling :meth:`cancel` marks
-    the entry dead without touching the heap, and the run loop discards it
-    on pop.  Entries are marked fired when their callback runs, so
-    :attr:`cancelled` and :attr:`fired` stay mutually exclusive even if
-    :meth:`cancel` is called after the fact.
+    ``Handle`` wraps the mutable store entry; calling :meth:`cancel`
+    marks the entry dead without touching the store (the run loop and
+    the compactor discard it later).  Entries are marked fired when
+    their callback runs, so :attr:`cancelled` and :attr:`fired` stay
+    mutually exclusive even if :meth:`cancel` is called after the fact.
     """
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: list):
+    def __init__(self, entry: list, sim: "Simulator"):
         self._entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> int:
@@ -63,8 +96,17 @@ class Handle:
         """Prevent the callback from running.  Idempotent; a no-op on an
         entry whose callback already ran (which stays ``fired``, not
         ``cancelled``)."""
-        if self._entry[3] is not _FIRED:
-            self._entry[3] = None
+        entry = self._entry
+        fn = entry[3]
+        if fn is None or fn is _FIRED:
+            return
+        entry[3] = None
+        sim = self._sim
+        sim._live -= 1
+        dead = sim._dead + 1
+        sim._dead = dead
+        if dead > _COMPACT_MIN and dead > sim._live:
+            sim._compact()
 
 
 class Event:
@@ -114,10 +156,30 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[list] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        #: near-future ring; slot ``tick & _BUCKET_MASK`` holds the
+        #: unsorted entries of bucket ``tick``
+        self._buckets: List[list] = [[] for _ in range(_NUM_BUCKETS)]
+        #: entries currently stored in the ring (tombstones included)
+        self._near_count = 0
+        #: far-future fallback heap (beyond the ring horizon)
+        self._far: List[list] = []
+        #: the sorted entries of the bucket being drained + its cursor
+        self._run: list = []
+        self._run_pos = 0
+        #: tick the current run was staged from (-1: nothing staged);
+        #: entries scheduled at ticks <= _run_tick go to ``_extra``
+        self._run_tick = -1
+        #: side heap for in-drain arrivals at ticks <= _run_tick
+        self._extra: List[list] = []
+        #: scheduled entries that are neither fired nor cancelled
+        self._live = 0
+        #: tombstones still occupying one of the stores
+        self._dead = 0
+        #: recycled bucket-storage lists
+        self._freelist: List[list] = []
         #: optional invariant monitor (repro.check).  None keeps the
         #: run loop on its fast path; when set, on_execute() observes
         #: every live event pop (clock monotonicity) and RxQueues
@@ -136,14 +198,52 @@ class Simulator:
             )
         self._seq += 1
         entry = [when, self._seq, args, fn]
-        heapq.heappush(self._heap, entry)
-        return Handle(entry)
+        self._live += 1
+        # routing is inlined here and in call_after (not factored into a
+        # helper): this is the hottest allocation site in the simulator
+        # and the extra call shows up directly in events/sec
+        tick = when >> _BUCKET_BITS
+        run_tick = self._run_tick
+        if tick <= run_tick:
+            # the entry's bucket is already staged (or drained past).  If
+            # it sorts after the staged tail it can extend the sorted run
+            # directly — the common case for chains re-scheduling into
+            # the current bucket — keeping the run-loop fast path hot.
+            run = self._run
+            if tick == run_tick and (not run or run[-1] < entry):
+                run.append(entry)
+            else:
+                heappush(self._extra, entry)
+        elif tick - (self.now >> _BUCKET_BITS) < _NUM_BUCKETS:
+            self._buckets[tick & _BUCKET_MASK].append(entry)
+            self._near_count += 1
+        else:
+            heappush(self._far, entry)
+        return Handle(entry, self)
 
     def call_after(self, delay: int, fn: Callable[..., None], *args: Any) -> Handle:
         """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self.now + delay, fn, *args)
+        now = self.now
+        when = now + delay
+        self._seq += 1
+        entry = [when, self._seq, args, fn]
+        self._live += 1
+        tick = when >> _BUCKET_BITS
+        run_tick = self._run_tick
+        if tick <= run_tick:
+            run = self._run
+            if tick == run_tick and (not run or run[-1] < entry):
+                run.append(entry)
+            else:
+                heappush(self._extra, entry)
+        elif tick - (now >> _BUCKET_BITS) < _NUM_BUCKETS:
+            self._buckets[tick & _BUCKET_MASK].append(entry)
+            self._near_count += 1
+        else:
+            heappush(self._far, entry)
+        return Handle(entry, self)
 
     def event(self) -> Event:
         """Create a fresh untriggered :class:`Event` bound to this simulator."""
@@ -156,6 +256,122 @@ class Simulator:
         return ev
 
     # ------------------------------------------------------------------ #
+    # Store maintenance
+    # ------------------------------------------------------------------ #
+
+    def _near_head(self) -> Optional[list]:
+        """The earliest near-future entry, tombstones pruned, or None.
+
+        Advances the drain cursor across exhausted buckets; the returned
+        entry stays staged at the head of its store.
+        """
+        while True:
+            run = self._run
+            pos = self._run_pos
+            n = len(run)
+            while pos < n and run[pos][3] is None:
+                pos += 1
+                self._dead -= 1
+            self._run_pos = pos
+            extra = self._extra
+            while extra and extra[0][3] is None:
+                heappop(extra)
+                self._dead -= 1
+            if pos < n:
+                head = run[pos]
+                if extra and extra[0] < head:
+                    return extra[0]
+                return head
+            if extra:
+                return extra[0]
+            if not self._near_count:
+                return None
+            # stage the next nonempty bucket in the window
+            now_tick = self.now >> _BUCKET_BITS
+            start = self._run_tick + 1
+            if start < now_tick:
+                start = now_tick
+            buckets = self._buckets
+            staged = None
+            for tick in range(start, now_tick + _NUM_BUCKETS):
+                lst = buckets[tick & _BUCKET_MASK]
+                if lst:
+                    # recycle the consumed run as this slot's new storage
+                    del run[:]
+                    buckets[tick & _BUCKET_MASK] = run
+                    lst.sort()
+                    self._run = lst
+                    self._run_pos = 0
+                    self._run_tick = tick
+                    self._near_count -= len(lst)
+                    staged = lst
+                    break
+            if staged is None:
+                # only out-of-window tombstones remain in the ring
+                return None
+
+    def _pop_entry(self, limit: Optional[int] = None) -> Optional[list]:
+        """Remove and return the earliest live entry, or None.
+
+        With ``limit``, entries due after it are left in place and None
+        is returned (the ``run(until=...)`` boundary).
+        """
+        near = self._near_head()
+        far = self._far
+        while far and far[0][3] is None:
+            heappop(far)
+            self._dead -= 1
+        if far and (near is None or far[0] < near):
+            if limit is not None and far[0][0] > limit:
+                return None
+            return heappop(far)
+        if near is None:
+            return None
+        if limit is not None and near[0] > limit:
+            return None
+        run = self._run
+        pos = self._run_pos
+        if pos < len(run) and run[pos] is near:
+            self._run_pos = pos + 1
+        else:
+            heappop(self._extra)
+        return near
+
+    def _compact(self) -> None:
+        """Physically drop every tombstone from every store.
+
+        Called once tombstones outnumber live entries, so a cancel-heavy
+        workload pays O(n) rarely instead of carrying dead entries to
+        their due time (the old heap's behaviour).
+        """
+        far = [e for e in self._far if e[3] is not None]
+        heapify(far)
+        self._far = far
+        extra = [e for e in self._extra if e[3] is not None]
+        heapify(extra)
+        self._extra = extra
+        run = [e for e in self._run[self._run_pos:] if e[3] is not None]
+        self._run = run
+        self._run_pos = 0
+        near = 0
+        buckets = self._buckets
+        freelist = self._freelist
+        for i, lst in enumerate(buckets):
+            if not lst:
+                continue
+            kept = [e for e in lst if e[3] is not None]
+            if kept:
+                buckets[i] = kept
+                near += len(kept)
+            else:
+                buckets[i] = freelist.pop() if freelist else []
+            del lst[:]
+            if len(freelist) < _FREELIST_MAX:
+                freelist.append(lst)
+        self._near_count = near
+        self._dead = 0
+
+    # ------------------------------------------------------------------ #
     # Run loop
     # ------------------------------------------------------------------ #
 
@@ -164,19 +380,17 @@ class Simulator:
 
         Returns False when the calendar is empty (nothing ran).
         """
-        heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)
-            fn = entry[3]
-            if fn is None:  # tombstone from Handle.cancel()
-                continue
-            if self.monitor is not None:
-                self.monitor.on_execute(self.now, entry[0])
-            entry[3] = _FIRED
-            self.now = entry[0]
-            fn(*entry[2])
-            return True
-        return False
+        entry = self._pop_entry()
+        if entry is None:
+            return False
+        if self.monitor is not None:
+            self.monitor.on_execute(self.now, entry[0])
+        fn = entry[3]
+        entry[3] = _FIRED
+        self._live -= 1
+        self.now = entry[0]
+        fn(*entry[2])
+        return True
 
     def run(self, until: Optional[int] = None) -> None:
         """Run callbacks until the calendar empties or ``until`` is reached.
@@ -189,19 +403,36 @@ class Simulator:
             raise SimulationError("simulator is re-entrant only via step()")
         self._running = True
         self._stopped = False
-        heap = self._heap
-        pop = heapq.heappop
         try:
-            while heap and not self._stopped:
-                if until is not None and heap[0][0] > until:
+            while not self._stopped:
+                # fast path: next staged entry is live and nothing in the
+                # side heaps can come before it
+                run = self._run
+                pos = self._run_pos
+                if pos < len(run) and not self._extra:
+                    entry = run[pos]
+                    fn = entry[3]
+                    far = self._far
+                    if fn is not None and (not far or entry < far[0]):
+                        when = entry[0]
+                        if until is not None and when > until:
+                            break
+                        self._run_pos = pos + 1
+                        if self.monitor is not None:
+                            self.monitor.on_execute(self.now, when)
+                        entry[3] = _FIRED
+                        self._live -= 1
+                        self.now = when
+                        fn(*entry[2])
+                        continue
+                entry = self._pop_entry(limit=until)
+                if entry is None:
                     break
-                entry = pop(heap)
-                fn = entry[3]
-                if fn is None:
-                    continue
                 if self.monitor is not None:
                     self.monitor.on_execute(self.now, entry[0])
+                fn = entry[3]
                 entry[3] = _FIRED
+                self._live -= 1
                 self.now = entry[0]
                 fn(*entry[2])
         finally:
@@ -215,12 +446,18 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled entries (including tombstones)."""
-        return len(self._heap)
+        """Number of live scheduled callbacks (tombstones excluded)."""
+        return self._live
 
     def peek(self) -> Optional[int]:
         """Time of the next live scheduled callback, or None if empty."""
-        heap = self._heap
-        while heap and heap[0][3] is None:
-            heapq.heappop(heap)
-        return heap[0][0] if heap else None
+        near = self._near_head()
+        far = self._far
+        while far and far[0][3] is None:
+            heappop(far)
+            self._dead -= 1
+        if near is None:
+            return far[0][0] if far else None
+        if far and far[0] < near:
+            return far[0][0]
+        return near[0]

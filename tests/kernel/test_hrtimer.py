@@ -89,3 +89,73 @@ def test_fired_count(machine):
         q.arm((i + 1) * 100 * US, lambda: None)
     machine.run(until=1 * MS)
     assert q.fired_count == 5
+
+
+# --------------------------------------------------------------------- #
+# cancel-leak regression: cancel() used to leave the timer in the
+# queue's _armed map forever (only _fire pruned it, and _fire can no
+# longer run once the sim handle is cancelled), inflating next_expiry()
+# --------------------------------------------------------------------- #
+
+
+def test_cancel_prunes_armed_map(machine):
+    q = machine.hrtimers[0]
+    timer = q.arm(100 * US, lambda: None)
+    assert len(q._armed) == 1
+    timer.cancel()
+    assert len(q._armed) == 0
+
+
+def test_armed_map_bounded_under_arm_cancel_churn(machine):
+    """The leak scenario: a watchdog re-armed and cancelled every tick
+    (the paper's backup timeout) must not accumulate dead timers."""
+    q = machine.hrtimers[0]
+    state = {"n": 0, "wd": None}
+
+    def tick():
+        if state["wd"] is not None:
+            state["wd"].cancel()
+        state["wd"] = q.arm(machine.now + 10 * MS, lambda: None)
+        state["n"] += 1
+        if state["n"] < 2_000:
+            machine.sim.call_after(10 * US, tick)
+
+    machine.sim.call_after(10 * US, tick)
+    machine.run(until=100 * MS)
+    assert state["n"] == 2_000
+    # one live watchdog at most (plus nothing leaked)
+    assert len(q._armed) <= 1
+
+
+def test_next_expiry_after_cancel_churn(machine):
+    q = machine.hrtimers[0]
+    doomed = [q.arm((i + 2) * 100 * US, lambda: None) for i in range(50)]
+    keeper = q.arm(9 * MS, lambda: None)
+    for t in doomed:
+        t.cancel()
+    assert q.next_expiry() == 9 * MS
+    machine.run(until=20 * MS)
+    assert keeper.fired
+    assert q.next_expiry() is None
+
+
+def test_cancel_during_fault_deferral(machine):
+    """A timer whose hardware interrupt was fault-delayed can still be
+    cancelled during the deferral window (the re-armed sim event must
+    be the one the cancel reaches)."""
+    from repro.faults.plan import FaultPlan, FaultSpec
+
+    machine.install_faults(FaultPlan(
+        name="all-misses",
+        specs=(FaultSpec(kind="timer_miss", start_ns=0, end_ns=4 * MS,
+                         magnitude=500 * US, probability=1.0),),
+    ))
+    fired = []
+    timer = machine.hrtimers[0].arm(100 * US, lambda: fired.append(1))
+    # cancel inside the deferral window: after the original expiry+IRQ
+    # latency (the deferral decision) but before the stretched delivery
+    machine.sim.call_after(300 * US, timer.cancel)
+    machine.run(until=5 * MS)
+    assert fired == []
+    assert timer.cancelled and not timer.fired
+    assert len(machine.hrtimers[0]._armed) == 0

@@ -224,3 +224,75 @@ def test_fired_flag_via_step():
     assert not handle.fired
     assert sim.step()
     assert handle.fired
+
+
+# --------------------------------------------------------------------- #
+# tombstone accounting (regression: cancelled entries used to stay in
+# the store until their due time, growing it without bound under the
+# adaptive T_S re-arm / watchdog early-wake pattern)
+# --------------------------------------------------------------------- #
+
+
+def _stored_entries(sim) -> int:
+    """Entries physically held across all of the simulator's stores."""
+    return (len(sim._far) + len(sim._extra) + sim._near_count
+            + len(sim._run) - sim._run_pos)
+
+
+def test_cancel_heavy_store_stays_bounded():
+    sim = Simulator()
+    state = {"n": 0}
+
+    def tick():
+        n = state["n"] = state["n"] + 1
+        # far-future watchdog, immediately obsolete: cancelled next tick
+        wd = sim.call_after(10_000_000_000, lambda: None)
+        sim.call_after(1_000, wd.cancel)
+        if n < 5_000:
+            sim.call_after(1_000, tick)
+
+    sim.call_after(1_000, tick)
+    sim.run()
+    # without compaction the far heap would hold all 5000 tombstones
+    assert _stored_entries(sim) < 200
+    assert sim._dead <= sim._live + 64 + 1
+
+
+def test_pending_counts_live_entries_only():
+    sim = Simulator()
+    keep = sim.call_after(10, lambda: None)
+    dead = [sim.call_after(20 + i, lambda: None) for i in range(10)]
+    assert sim.pending == 11
+    for h in dead:
+        h.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    assert keep.fired
+
+
+def test_compaction_preserves_fire_order():
+    sim = Simulator()
+    seen = []
+    # a mix of near (bucketed) and far entries...
+    for i in range(100):
+        sim.call_after(100 + i, seen.append, i)
+    doomed = [sim.call_after(50_000_000 + i, seen.append, -1)
+              for i in range(300)]
+    # ...then mass-cancel: tombstones outnumber the 100 live entries
+    # partway through this loop, forcing a compaction mid-cancel
+    for h in doomed:
+        h.cancel()
+    assert sim._dead < 300   # compaction ran and dropped tombstones
+    sim.run()
+    assert seen == list(range(100))
+
+
+def test_peek_after_mass_cancel():
+    sim = Simulator()
+    doomed = [sim.call_after(10 + i, lambda: None) for i in range(100)]
+    sim.call_after(5_000, lambda: None)
+    for h in doomed:
+        h.cancel()
+    assert sim.peek() == 5_000
+    assert sim.pending == 1
