@@ -181,6 +181,74 @@ def bench_nic_ring(quick: bool) -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------- #
+# checkpoint overhead
+# --------------------------------------------------------------------- #
+
+
+def bench_checkpoint(quick: bool) -> Dict[str, object]:
+    """Cost of the sim-state checkpoint at fig7-like scale.
+
+    Reports the capture time (pure state walk over a live Metronome
+    machine), the serialized state size, the JSON round-trip time, and
+    the verify time on a freshly replayed machine — the restore path's
+    fingerprint comparison.  Never gated: checkpointing is a debugging
+    and resilience surface, the numbers are trajectory data.
+    """
+    from repro import config
+    from repro.harness.experiment import run_metronome
+    from repro.sim.snapshot import MachineState, verify
+    from repro.sim.units import MS
+
+    duration_ms = 8 if quick else 20
+    t_ck = (duration_ms // 2) * MS
+    reps = 3 if quick else 5
+    timings: Dict[str, float] = {}
+
+    def time_capture(machine, _state) -> None:
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            machine.snapshot(label="bench")
+            best = min(best, time.perf_counter() - t0)
+        timings["capture_ms"] = best * 1e3
+
+    cfg = config.SimConfig(seed=2020)
+    res = run_metronome(2_000_000, duration_ms=duration_ms, cfg=cfg,
+                        num_threads=2, cores=[0, 1],
+                        checkpoint_at_ns=t_ck, at_checkpoint=time_capture)
+    state = res.checkpoint
+
+    t0 = time.perf_counter()
+    blob = json.dumps(state.to_dict())
+    round_tripped = MachineState.from_dict(json.loads(blob))
+    serialize_ms = (time.perf_counter() - t0) * 1e3
+    round_trip_ok = not state.diff(round_tripped)
+
+    def time_verify(machine, _state) -> None:
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            mismatches = verify(machine, state)
+            best = min(best, time.perf_counter() - t0)
+        timings["verify_ms"] = best * 1e3
+        timings["verify_ok"] = not mismatches
+
+    run_metronome(2_000_000, duration_ms=duration_ms,
+                  cfg=config.SimConfig(seed=2020),
+                  num_threads=2, cores=[0, 1],
+                  checkpoint_at_ns=t_ck, at_checkpoint=time_verify)
+    return {
+        "duration_ms": duration_ms,
+        "checkpoint_at_ms": t_ck // MS,
+        "capture_ms": round(timings["capture_ms"], 3),
+        "state_kb": round(state.size_bytes() / 1024, 2),
+        "json_round_trip_ms": round(serialize_ms, 3),
+        "verify_ms": round(timings["verify_ms"], 3),
+        "round_trip_ok": bool(round_trip_ok and timings["verify_ok"]),
+    }
+
+
+# --------------------------------------------------------------------- #
 # whole-figure wall clock
 # --------------------------------------------------------------------- #
 
@@ -219,10 +287,16 @@ def run_benches(quick: bool = False,
     say("nic ring (poll-mode burst drain)...")
     nic = bench_nic_ring(quick)
     say(f"  {nic['packets_per_sec']:,.0f} pkt/s")
+    say("checkpoint (snapshot capture / round-trip / verify)...")
+    checkpoint = bench_checkpoint(quick)
+    say(f"  capture {checkpoint['capture_ms']:.1f} ms, "
+        f"{checkpoint['state_kb']:.0f} KB, "
+        f"verify {checkpoint['verify_ms']:.1f} ms")
     benches: Dict[str, object] = {
         "event_churn": churn,
         "event_fire": fire,
         "nic_ring": nic,
+        "checkpoint": checkpoint,
     }
     if not skip_figures:
         say(f"figures {', '.join(BENCH_FIGURES)} wall-clock...")

@@ -44,31 +44,55 @@ from repro.campaign.executor import (
     CampaignResult,
     InjectedFailure,
     TaskOutcome,
+    campaign_specs,
     execute_task,
+    merge_shards,
     run_campaign,
     run_tasks,
+)
+from repro.campaign.journal import (
+    JOURNAL_SUBDIR,
+    CampaignJournal,
+    JournalError,
+    JournalState,
+    campaign_identity,
+    journal_key,
+    journal_path,
+    load_journal,
+    open_for_resume,
 )
 from repro.campaign.registry import FIGURES, get_figure
 from repro.campaign.spec import FigureSpec, SweepSpec, TaskSpec, json_normalize
 
 __all__ = [
     "CAMPAIGN_SUMMARY",
+    "JOURNAL_SUBDIR",
+    "CampaignJournal",
     "CampaignResult",
     "FIGURES",
     "FigureSpec",
     "InjectedFailure",
+    "JournalError",
+    "JournalState",
     "ResultCache",
     "SweepSpec",
     "TaskOutcome",
     "TaskSpec",
     "atomic_write_json",
     "atomic_write_text",
+    "campaign_identity",
+    "campaign_specs",
     "default_cache_dir",
     "default_results_dir",
     "execute_task",
     "figure_payload",
     "get_figure",
+    "journal_key",
+    "journal_path",
     "json_normalize",
+    "load_journal",
+    "merge_shards",
+    "open_for_resume",
     "package_digest",
     "read_campaign_summary",
     "render_figure",

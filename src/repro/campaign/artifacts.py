@@ -43,7 +43,15 @@ def default_cache_dir(results_dir: Optional[str] = None) -> str:
 
 
 def atomic_write_text(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    """Write ``text`` to ``path`` atomically **and durably**.
+
+    Temp file + ``os.replace`` keeps the write atomic against readers;
+    fsyncing the temp file before the rename and the directory after it
+    keeps it durable against power loss — without the first fsync the
+    rename can land before the data, leaving a complete-looking but
+    empty/garbage artifact after a crash, and without the second the
+    rename itself may not have reached the journal.
+    """
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=directory,
@@ -52,7 +60,14 @@ def atomic_write_text(path: str, text: str) -> None:
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp)

@@ -145,7 +145,17 @@ class ResultCache:
                 entry = json.load(fh)
             record = entry["record"]
             elapsed = float(entry["elapsed_s"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            # the file opened but does not parse as an entry — it can
+            # only get in the way (``put`` skips existing paths), so
+            # evict it and let a fresh result take the slot
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             self.misses += 1
             return None
         self.hits += 1
@@ -153,9 +163,22 @@ class ResultCache:
 
     def put(self, spec: TaskSpec, record: Any, elapsed_s: float,
             fingerprint: Optional[str] = None) -> str:
+        """Store a record under its content address.
+
+        Safe against concurrent writers — e.g. two shard campaigns
+        sharing one cache dir: each writes its own ``mkstemp`` temp
+        file and publishes with atomic ``os.replace``, so readers never
+        see a partial entry and the last writer simply wins.  The key
+        is content-addressed (spec + code fingerprint), so a colliding
+        writer is computing the *same* deterministic record and an
+        already-present entry can be kept as-is.
+        """
         from repro.campaign.artifacts import atomic_write_text
 
         key = task_key(spec, fingerprint)
+        path = self._path(key)
+        if os.path.exists(path):
+            return key
         body = json.dumps(
             {
                 "spec": spec.to_dict(),
@@ -164,7 +187,7 @@ class ResultCache:
             },
             sort_keys=True,
         )
-        atomic_write_text(self._path(key), body + "\n")
+        atomic_write_text(path, body + "\n")
         return key
 
     @property

@@ -1,4 +1,4 @@
-"""The campaign executor: sharded, cached, retrying task execution.
+"""The campaign executor: sharded, cached, journaled, retrying execution.
 
 Tasks run across N worker processes (``ProcessPoolExecutor``).  Each
 task is independent — a scenario call at one grid point with an
@@ -7,11 +7,37 @@ step reassembles records in serial order and the output is
 byte-identical to running the sweep in one process (asserted by
 ``tests/campaign/test_determinism.py``).
 
-Robustness follows the :mod:`repro.faults` idiom of bounded retries
-with a clean slate: a task that raises or exceeds the per-task timeout
-is retried up to ``retries`` times, always on a freshly created pool —
-a hung or poisoned worker from a previous attempt is never reused (its
-pool is torn down and its processes terminated at the end of the wave).
+**Failure taxonomy.**  A failed attempt is classified and handled by
+class:
+
+* ``error`` — the task raised; deterministic unless the scenario
+  consults the environment, so it is retried on a fresh pool up to
+  ``retries`` times and then quarantined;
+* ``timeout`` — the attempt exceeded ``timeout_s``; the worker
+  underneath may be hung, so its slot stays pinned for the rest of the
+  wave and the pool is torn down (processes terminated) at wave end;
+* ``crash`` — the worker process died (SIGKILL, OOM, segfault), which
+  ``ProcessPoolExecutor`` reports by poisoning *every* in-flight future
+  with ``BrokenProcessPool``.  With exactly one task in flight the
+  culprit is known and the attempt is charged; with several in flight
+  the victims are indistinguishable from the culprit, so nobody is
+  charged — instead every involved task re-runs **isolated** (its own
+  single-worker pool) where a crash has exactly one possible culprit.
+  Isolation guarantees termination: innocents succeed, a genuinely
+  poisoned task accumulates charged attempts and is quarantined.
+
+Retries back off exponentially with jitter drawn from the dedicated
+``campaign.backoff`` RNG stream (deterministic per seed, independent of
+every simulation stream).  A task that exhausts its attempts is
+**quarantined**: recorded with its failure history, excluded from the
+figure merge, and reported — the campaign completes with partial
+results and a non-zero exit instead of aborting the whole grid.
+
+With a :class:`~repro.campaign.journal.CampaignJournal` attached, every
+resolved outcome is appended and fsynced before the campaign proceeds,
+so a SIGKILLed campaign resumes from its journal re-executing only the
+unfinished tail (see :mod:`repro.campaign.journal`).
+
 Tasks are submitted to the pool at most ``workers`` at a time (the
 backlog stays in the executor's own queue), so a submitted future is
 genuinely executing and its timeout clock is fair — over-submitting
@@ -29,19 +55,37 @@ served from disk without touching a worker.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import config
-from repro.campaign.cache import ResultCache, scenario_fingerprint
+from repro.campaign.cache import ResultCache, package_digest, scenario_fingerprint
+from repro.campaign.journal import (
+    CampaignJournal,
+    campaign_identity,
+    journal_key,
+    journal_path,
+    load_journal,
+    open_for_resume,
+)
 from repro.campaign.spec import FigureSpec, TaskSpec, json_normalize
+from repro.sim.rng import RandomStreams
 
 #: how often the wave loop polls futures / repaints the progress line
 _POLL_S = 0.2
+
+#: ceiling on one retry's backoff sleep, seconds
+BACKOFF_CAP_S = 8.0
+
+#: the failure classes the executor distinguishes
+FAILURE_CLASSES = ("error", "timeout", "crash")
 
 
 class InjectedFailure(RuntimeError):
@@ -81,6 +125,15 @@ class TaskOutcome:
     attempts: int = 0
     from_cache: bool = False
     error: Optional[str] = None
+    #: last failure class seen (``error``/``timeout``/``crash``); None
+    #: for tasks that never failed an attempt
+    failure_class: Optional[str] = None
+    #: True when the task exhausted its attempts and was excluded from
+    #: the merge (the campaign still completes, with non-zero exit)
+    quarantined: bool = False
+    #: True when the outcome was replayed from a journal (``--resume``)
+    #: or a shard merge rather than executed in this run
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -97,6 +150,10 @@ class CampaignResult:
     workers: int = 0
     scale: float = 1.0
     seed: int = config.DEFAULT_SEED
+    #: this invocation's slice of the grid (``--shard i/N``)
+    shard: Tuple[int, int] = (1, 1)
+    #: the campaign's identity digest (names the journal files)
+    identity: str = ""
 
     @property
     def cache_hits(self) -> int:
@@ -104,7 +161,8 @@ class CampaignResult:
 
     @property
     def cache_misses(self) -> int:
-        return sum(1 for o in self.outcomes if not o.from_cache)
+        return sum(1 for o in self.outcomes
+                   if not o.from_cache and not o.resumed)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -113,6 +171,14 @@ class CampaignResult:
     @property
     def failures(self) -> List[TaskOutcome]:
         return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def quarantined(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if o.quarantined]
+
+    @property
+    def resumed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.resumed)
 
     def record_for(self, figure: str) -> Optional[List]:
         """The figure's merged record (serial order), or ``None`` if any
@@ -128,6 +194,20 @@ class CampaignResult:
     def figure_outcomes(self, figure: str) -> List[TaskOutcome]:
         return [o for o in self.outcomes if o.spec.figure == figure]
 
+    def quarantine_report(self) -> str:
+        """Human-readable list of quarantined tasks (empty string when
+        the whole grid resolved)."""
+        quarantined = self.quarantined
+        if not quarantined:
+            return ""
+        lines = [f"quarantined {len(quarantined)} task(s):"]
+        for o in quarantined:
+            lines.append(
+                f"  {o.spec.label():12s} after {o.attempts} attempt(s) "
+                f"[{o.failure_class or '?'}] {o.error}"
+            )
+        return "\n".join(lines)
+
     def summary(self) -> Dict[str, Any]:
         """The ``BENCH_campaign.json`` body."""
         return {
@@ -135,9 +215,13 @@ class CampaignResult:
             "workers": self.workers,
             "scale": self.scale,
             "seed": self.seed,
+            "shard": list(self.shard),
+            "identity": self.identity[:16] if self.identity else "",
             "figures": list(self.figures),
             "tasks_total": len(self.outcomes),
             "failures": len(self.failures),
+            "quarantined": len(self.quarantined),
+            "resumed": self.resumed_count,
             "cache": {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
@@ -151,7 +235,10 @@ class CampaignResult:
                     "elapsed_s": o.elapsed_s,
                     "attempts": o.attempts,
                     "from_cache": o.from_cache,
+                    "resumed": o.resumed,
                     "error": o.error,
+                    "failure_class": o.failure_class,
+                    "quarantined": o.quarantined,
                 }
                 for o in self.outcomes
             ],
@@ -216,12 +303,25 @@ def run_tasks(
     retries: int = 2,
     fail_tasks: Optional[str] = None,
     progress: bool = False,
+    journal: Optional[CampaignJournal] = None,
+    completed: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    backoff_base_s: float = 0.0,
+    backoff_seed: int = config.DEFAULT_SEED,
 ) -> List[TaskOutcome]:
     """Execute ``specs`` and return one outcome per spec, same order.
 
     ``workers=0`` runs everything serially in the current process
     (no per-task timeout there — nothing to kill).  ``retries`` is the
     number of *re*-attempts after the first failure or timeout.
+
+    ``journal`` receives one fsynced record per resolved task plus the
+    retry trail; ``completed`` (journal key -> prior ``task`` record,
+    from :meth:`JournalState.completed`) short-circuits tasks a
+    previous run already finished — the ``--resume`` path.  Retries
+    sleep ``min(cap, backoff_base_s * 2^(attempt-1)) * (0.5 + u)``
+    seconds with ``u`` from the dedicated ``campaign.backoff`` stream,
+    so backoff timing is reproducible per seed and never touches any
+    simulation stream.
     """
     t0 = time.perf_counter()
     # everything is keyed by the spec's *position* in ``specs`` — specs
@@ -230,15 +330,32 @@ def run_tasks(
     outcomes: Dict[int, TaskOutcome] = {}
     fingerprints = {s.scenario: scenario_fingerprint(s.scenario)
                     for s in specs} if cache is not None else {}
+    backoff_rng = (RandomStreams(backoff_seed).stream("campaign.backoff")
+                   if backoff_base_s > 0 else None)
+    #: per-position failure-class history across attempts
+    classes: Dict[int, List[str]] = {}
+    #: pending backoff sleep (seconds) owed before a task's next attempt
+    backoff_due: Dict[int, float] = {}
 
     pending: List[Tuple[int, TaskSpec]] = []
     for pos, spec in enumerate(specs):
+        prior = completed.get(journal_key(spec)) if completed else None
+        if prior is not None:
+            outcomes[pos] = TaskOutcome(
+                spec=spec, record=prior["record"],
+                elapsed_s=prior.get("elapsed_s", 0.0),
+                attempts=prior.get("attempts", 1), resumed=True)
+            continue
         entry = cache.get(spec, fingerprints[spec.scenario]) \
             if cache is not None else None
         if entry is not None:
             outcomes[pos] = TaskOutcome(
                 spec=spec, record=entry.record, elapsed_s=entry.elapsed_s,
                 from_cache=True)
+            if journal is not None:
+                journal.task_resolved(
+                    spec, status="ok", attempts=0, record=entry.record,
+                    elapsed_s=entry.elapsed_s)
         else:
             pending.append((pos, spec))
 
@@ -253,25 +370,67 @@ def run_tasks(
     def _store_success(pos: int, spec: TaskSpec, record: Any,
                        elapsed: float, attempts: int) -> None:
         outcomes[pos] = TaskOutcome(
-            spec=spec, record=record, elapsed_s=elapsed, attempts=attempts)
+            spec=spec, record=record, elapsed_s=elapsed, attempts=attempts,
+            failure_class=classes[pos][-1] if classes.get(pos) else None)
         if cache is not None:
             cache.put(spec, record, elapsed, fingerprints[spec.scenario])
+        if journal is not None:
+            journal.task_resolved(
+                spec, status="ok", attempts=attempts, record=record,
+                elapsed_s=elapsed, classes=classes.get(pos, ()))
+
+    def _quarantine(pos: int, spec: TaskSpec, attempts_n: int,
+                    error: str) -> None:
+        last = classes[pos][-1] if classes.get(pos) else None
+        outcomes[pos] = TaskOutcome(
+            spec=spec, attempts=attempts_n, error=error,
+            failure_class=last, quarantined=True)
+        if journal is not None:
+            journal.task_resolved(
+                spec, status="quarantined", attempts=attempts_n,
+                error=error, classes=classes.get(pos, ()))
+
+    def _note_failure(pos: int, spec: TaskSpec, failure_class: str,
+                      error: str, attempt: int,
+                      isolated: bool = False) -> float:
+        """Record one failed attempt; returns the backoff it earns."""
+        classes.setdefault(pos, []).append(failure_class)
+        owed = 0.0
+        if backoff_rng is not None and attempt > 0:
+            owed = min(BACKOFF_CAP_S,
+                       backoff_base_s * (2.0 ** (attempt - 1)))
+            owed *= 0.5 + backoff_rng.random()
+        backoff_due[pos] = owed
+        if journal is not None:
+            journal.retry(spec, attempt=attempt, failure_class=failure_class,
+                          error=error, backoff_s=owed, isolated=isolated)
+        return owed
+
+    def _sleep_backoff(batch: Sequence[Tuple[int, TaskSpec]]) -> None:
+        """Pay the largest backoff owed by this wave's retries, once —
+        the wave is a barrier anyway, so per-task sleeps would only
+        serialize it further."""
+        owed = max((backoff_due.pop(pos, 0.0) for pos, _ in batch),
+                   default=0.0)
+        if owed > 0:
+            time.sleep(owed)
 
     attempts: Dict[int, int] = {pos: 0 for pos, _ in pending}
 
     if workers <= 0:
         for pos, spec in pending:
             while True:
+                _sleep_backoff([(pos, spec)])
                 attempts[pos] += 1
                 t_task = time.perf_counter()
                 try:
                     record = execute_task(spec, fail_tasks=fail_tasks)
                 except Exception as exc:
+                    err = f"{type(exc).__name__}: {exc}"
+                    _note_failure(pos, spec, "error", err, attempts[pos])
                     if attempts[pos] <= retries:
                         continue
-                    outcomes[pos] = TaskOutcome(
-                        spec=spec, attempts=attempts[pos],
-                        error=f"{type(exc).__name__}: {exc}")
+                    _quarantine(pos, spec, attempts[pos], err)
                     break
                 _store_success(pos, spec, record,
                                time.perf_counter() - t_task,
@@ -281,15 +440,63 @@ def run_tasks(
             prog.update(done, cached, 0, failed)
     else:
         todo = pending
+        #: positions that must re-run isolated (crash suspects)
+        isolate: set = set()
         while todo:
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(todo)))
-            queue = deque(todo)
-            slots = min(workers, len(todo))
+            _sleep_backoff(todo)
+            # crash suspects first, each in its own single-worker pool:
+            # a crash there has exactly one possible culprit, so the
+            # attempt can be charged fairly (see module docstring)
+            iso_batch = [(p, s) for p, s in todo if p in isolate]
+            pool_batch = [(p, s) for p, s in todo if p not in isolate]
+            next_round: List[Tuple[int, TaskSpec]] = []
+
+            for pos, spec in iso_batch:
+                attempts[pos] += 1
+                failure: Optional[Tuple[str, str]] = None
+                pool = ProcessPoolExecutor(max_workers=1)
+                fut = pool.submit(_worker, spec.to_dict(), fail_tasks)
+                try:
+                    record, elapsed = fut.result(timeout=timeout_s)
+                except FuturesTimeout:
+                    failure = ("timeout",
+                               f"timeout after {timeout_s:.0f}s (isolated)")
+                    _terminate_pool(pool)
+                except BrokenProcessPool:
+                    failure = ("crash", "worker process died (isolated)")
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception as exc:
+                    failure = ("error", f"{type(exc).__name__}: {exc}")
+                    pool.shutdown(wait=True, cancel_futures=True)
+                else:
+                    pool.shutdown(wait=True)
+                    isolate.discard(pos)
+                    _store_success(pos, spec, record, elapsed,
+                                   attempts[pos])
+                    continue
+                fclass, err = failure
+                _note_failure(pos, spec, fclass, err, attempts[pos],
+                              isolated=True)
+                if attempts[pos] <= retries:
+                    next_round.append((pos, spec))
+                else:
+                    _quarantine(pos, spec, attempts[pos], err)
+                done, cached, failed = _done_counts()
+                prog.update(done, cached, 0, failed)
+
+            if not pool_batch:
+                todo = sorted(next_round, key=lambda e: e[0])
+                continue
+
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pool_batch)))
+            queue = deque(pool_batch)
+            slots = min(workers, len(pool_batch))
             futures: Dict[Any, Tuple[int, TaskSpec]] = {}
             started: Dict[Any, float] = {}
             waiting: set = set()
-            next_round: List[Tuple[int, TaskSpec]] = []
             hung = False
+            broken = False
 
             def _fill() -> None:
                 # submit from the backlog, never more than one task per
@@ -298,10 +505,18 @@ def run_tasks(
                 # (ProcessPoolExecutor's call-queue buffer would flag
                 # over-submitted futures as running while they sit
                 # behind a hung worker, uncancellable and untimeable)
-                nonlocal slots
-                while slots > 0 and queue:
+                nonlocal slots, broken
+                while slots > 0 and queue and not broken:
                     pos, spec = queue.popleft()
-                    fut = pool.submit(_worker, spec.to_dict(), fail_tasks)
+                    try:
+                        fut = pool.submit(_worker, spec.to_dict(),
+                                          fail_tasks)
+                    except Exception:
+                        # the pool broke between waits; the task never
+                        # started, so it rolls over uncharged
+                        broken = True
+                        queue.appendleft((pos, spec))
+                        return
                     futures[fut] = (pos, spec)
                     started[fut] = time.monotonic()
                     waiting.add(fut)
@@ -312,23 +527,57 @@ def run_tasks(
                 done_set, _ = wait(waiting, timeout=_POLL_S,
                                    return_when=FIRST_COMPLETED)
                 now = time.monotonic()
+                crashed: List[Tuple[int, TaskSpec]] = []
                 for fut in done_set:
                     waiting.discard(fut)
                     slots += 1
                     pos, spec = futures[fut]
-                    attempts[pos] += 1
                     try:
                         record, elapsed = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        crashed.append((pos, spec))
+                        continue
                     except Exception as exc:
+                        attempts[pos] += 1
+                        err = f"{type(exc).__name__}: {exc}"
+                        _note_failure(pos, spec, "error", err,
+                                      attempts[pos])
                         if attempts[pos] <= retries:
                             next_round.append((pos, spec))
                         else:
-                            outcomes[pos] = TaskOutcome(
-                                spec=spec, attempts=attempts[pos],
-                                error=f"{type(exc).__name__}: {exc}")
+                            _quarantine(pos, spec, attempts[pos], err)
                         continue
+                    attempts[pos] += 1
                     _store_success(pos, spec, record, elapsed,
                                    attempts[pos])
+                if broken:
+                    # the remaining in-flight futures are poisoned too
+                    for fut in waiting:
+                        crashed.append(futures[fut])
+                    waiting.clear()
+                    if len(crashed) == 1:
+                        # one task in flight: the culprit is known
+                        pos, spec = crashed[0]
+                        attempts[pos] += 1
+                        err = "worker process died"
+                        _note_failure(pos, spec, "crash", err,
+                                      attempts[pos])
+                        if attempts[pos] <= retries:
+                            next_round.append((pos, spec))
+                        else:
+                            _quarantine(pos, spec, attempts[pos], err)
+                    else:
+                        # victims and culprit are indistinguishable:
+                        # nobody is charged, everybody re-runs isolated
+                        for pos, spec in crashed:
+                            isolate.add(pos)
+                            _note_failure(
+                                pos, spec, "crash",
+                                "worker process died (shared pool)",
+                                attempts[pos], isolated=True)
+                            next_round.append((pos, spec))
+                    break
                 for fut in list(waiting):
                     if now - started[fut] <= timeout_s:
                         continue
@@ -339,22 +588,24 @@ def run_tasks(
                     hung = True
                     pos, spec = futures[fut]
                     attempts[pos] += 1
+                    err = f"timeout after {timeout_s:.0f}s"
+                    _note_failure(pos, spec, "timeout", err,
+                                  attempts[pos])
                     if attempts[pos] <= retries:
                         next_round.append((pos, spec))
                     else:
-                        outcomes[pos] = TaskOutcome(
-                            spec=spec, attempts=attempts[pos],
-                            error=f"timeout after {timeout_s:.0f}s")
+                        _quarantine(pos, spec, attempts[pos], err)
                 _fill()
                 done, cached, failed = _done_counts()
                 prog.update(done, cached, len(waiting), failed)
             # tasks still queued once every slot is pinned by a hung
-            # worker can never start this wave: roll them over to the
-            # next wave's fresh pool (never submitted, so no attempt is
-            # charged).  Every submitted future completes or times out
-            # within timeout_s, so the wave loop always drains.
+            # worker (or the pool broke) can never start this wave:
+            # roll them over to the next wave's fresh pool (never
+            # submitted, so no attempt is charged).  Every submitted
+            # future completes, times out, or is poisoned within
+            # timeout_s, so the wave loop always drains.
             next_round.extend(queue)
-            if hung:
+            if hung or broken:
                 _terminate_pool(pool)
             else:
                 pool.shutdown(wait=True, cancel_futures=True)
@@ -364,6 +615,33 @@ def run_tasks(
     done, cached, failed = _done_counts()
     prog.finish(done, cached, failed, time.perf_counter() - t0)
     return [outcomes[pos] for pos in range(len(specs))]
+
+
+def campaign_specs(
+    figures: Optional[Sequence[str]] = None,
+    *,
+    scale: float = 1.0,
+    seed: int = config.DEFAULT_SEED,
+    registry: Optional[Mapping[str, FigureSpec]] = None,
+) -> Tuple[Tuple[str, ...], List[TaskSpec]]:
+    """Resolve a figure selection to ``(names, full task list)``.
+
+    The task list is the campaign's canonical serial order — sharding,
+    journaling, and merging all partition exactly this sequence.
+    """
+    from repro.campaign.registry import FIGURES
+
+    registry = registry if registry is not None else FIGURES
+    # dedupe, first occurrence wins: `--figures fig7,fig7` must not run
+    # (and account) the same sweep twice
+    names = tuple(dict.fromkeys(figures)) if figures else tuple(registry)
+    specs: List[TaskSpec] = []
+    for name in names:
+        if name not in registry:
+            known = ", ".join(registry)
+            raise KeyError(f"unknown figure {name!r} (known: {known})")
+        specs.extend(registry[name].tasks(scale=scale, seed=seed))
+    return names, specs
 
 
 def run_campaign(
@@ -378,30 +656,68 @@ def run_campaign(
     fail_tasks: Optional[str] = None,
     progress: bool = False,
     registry: Optional[Mapping[str, FigureSpec]] = None,
+    shard: Tuple[int, int] = (1, 1),
+    journal_dir: Optional[str] = None,
+    resume: bool = False,
+    backoff_base_s: float = 0.0,
 ) -> CampaignResult:
     """Run a sweep over ``figures`` (default: every registered figure).
 
     Pure compute + cache: artifact emission is the caller's job (the
     CLI renders tables and writes the JSON surfaces; benches only want
     the records).
-    """
-    from repro.campaign.registry import FIGURES
 
-    registry = registry if registry is not None else FIGURES
-    # dedupe, first occurrence wins: `--figures fig7,fig7` must not run
-    # (and account) the same sweep twice
-    names = tuple(dict.fromkeys(figures)) if figures else tuple(registry)
-    specs: List[TaskSpec] = []
-    for name in names:
-        if name not in registry:
-            known = ", ".join(registry)
-            raise KeyError(f"unknown figure {name!r} (known: {known})")
-        specs.extend(registry[name].tasks(scale=scale, seed=seed))
+    ``shard=(i, N)`` runs the i-th of N deterministic partitions of the
+    full task list (position modulo N), so CI matrices or multiple
+    machines can split a grid and ``merge_shards`` reassembles it.
+    ``journal_dir`` enables the crash-safe WAL (one file per campaign
+    identity and shard); with ``resume=True`` an existing journal's
+    completed tasks are replayed instead of re-executed.  Raises
+    :class:`~repro.campaign.journal.JournalError` if the journal
+    belongs to different code or a different campaign.
+    """
+    names, all_specs = campaign_specs(
+        figures, scale=scale, seed=seed, registry=registry)
+    i, n = shard
+    if not (1 <= i <= n):
+        raise ValueError(f"shard must be (i, N) with 1 <= i <= N, got {shard}")
+    specs = [s for pos, s in enumerate(all_specs) if pos % n == i - 1]
+    identity = campaign_identity(
+        all_specs, seed=seed, scale=scale, figures=names)
+
+    journal: Optional[CampaignJournal] = None
+    completed: Optional[Dict[str, Dict[str, Any]]] = None
+    if journal_dir is not None:
+        package = package_digest()
+        path = journal_path(journal_dir, identity, shard)
+        if resume:
+            state, _ = open_for_resume(path, identity=identity,
+                                       package=package)
+            if state is not None:
+                completed = state.completed()
+        elif os.path.exists(path):
+            # a fresh (non-resume) run must not inherit stale decisions
+            os.unlink(path)
+        journal = CampaignJournal(path, {
+            "identity": identity,
+            "package_digest": package,
+            "shard": [i, n],
+            "total_tasks": len(specs),
+            "figures": list(names),
+            "seed": seed,
+            "scale": scale,
+        })
 
     t0 = time.perf_counter()
-    outcomes = run_tasks(
-        specs, workers=workers, cache=cache, timeout_s=timeout_s,
-        retries=retries, fail_tasks=fail_tasks, progress=progress)
+    try:
+        outcomes = run_tasks(
+            specs, workers=workers, cache=cache, timeout_s=timeout_s,
+            retries=retries, fail_tasks=fail_tasks, progress=progress,
+            journal=journal, completed=completed,
+            backoff_base_s=backoff_base_s, backoff_seed=seed)
+    finally:
+        if journal is not None:
+            journal.close()
     return CampaignResult(
         outcomes=outcomes,
         figures=names,
@@ -409,4 +725,99 @@ def run_campaign(
         workers=workers,
         scale=scale,
         seed=seed,
+        shard=shard,
+        identity=identity,
+    )
+
+
+def merge_shards(
+    figures: Optional[Sequence[str]] = None,
+    *,
+    shards: int,
+    scale: float = 1.0,
+    seed: int = config.DEFAULT_SEED,
+    journal_dir: str,
+    cache: Optional[ResultCache] = None,
+    registry: Optional[Mapping[str, FigureSpec]] = None,
+) -> CampaignResult:
+    """Reassemble a sharded campaign from its journals (plus the cache).
+
+    Loads every shard journal for the campaign's identity, validates
+    that each was written by the same code version as is running now,
+    and rebuilds the full-grid :class:`CampaignResult` — byte-identical
+    to an unsharded run of the same campaign, because each record is
+    deterministic per spec and the merge is pure reassembly.  Tasks
+    found in no journal fall back to the result cache; tasks found
+    nowhere come back as failures (``error`` starting with
+    ``"missing"``), and quarantined tasks keep their verdict.
+    """
+    from repro.campaign.journal import JournalError
+
+    names, all_specs = campaign_specs(
+        figures, scale=scale, seed=seed, registry=registry)
+    identity = campaign_identity(
+        all_specs, seed=seed, scale=scale, figures=names)
+    package = package_digest()
+
+    done: Dict[str, Dict[str, Any]] = {}
+    quarantined: Dict[str, Dict[str, Any]] = {}
+    shards_seen = 0
+    for i in range(1, shards + 1):
+        state = load_journal(journal_path(journal_dir, identity,
+                                          (i, shards)))
+        if state is None:
+            continue
+        if state.header.get("identity") != identity:
+            raise JournalError(
+                f"shard {i}/{shards}: journal identity does not match "
+                "this campaign"
+            )
+        if state.header.get("package_digest") != package:
+            raise JournalError(
+                f"shard {i}/{shards}: journal was written by a different "
+                "code version; re-run the shard before merging"
+            )
+        shards_seen += 1
+        done.update(state.completed())
+        quarantined.update(state.quarantined())
+
+    fingerprints = {s.scenario: scenario_fingerprint(s.scenario)
+                    for s in all_specs} if cache is not None else {}
+    outcomes: List[TaskOutcome] = []
+    for spec in all_specs:
+        key = journal_key(spec)
+        rec = done.get(key)
+        if rec is not None:
+            outcomes.append(TaskOutcome(
+                spec=spec, record=rec["record"],
+                elapsed_s=rec.get("elapsed_s", 0.0),
+                attempts=rec.get("attempts", 1), resumed=True))
+            continue
+        rec = quarantined.get(key)
+        if rec is not None:
+            klass = rec["classes"][-1] if rec.get("classes") else None
+            outcomes.append(TaskOutcome(
+                spec=spec, attempts=rec.get("attempts", 0),
+                error=rec.get("error") or "quarantined",
+                failure_class=klass, quarantined=True, resumed=True))
+            continue
+        entry = cache.get(spec, fingerprints[spec.scenario]) \
+            if cache is not None else None
+        if entry is not None:
+            outcomes.append(TaskOutcome(
+                spec=spec, record=entry.record,
+                elapsed_s=entry.elapsed_s, from_cache=True))
+            continue
+        outcomes.append(TaskOutcome(
+            spec=spec,
+            error=f"missing: {spec.label()} resolved by none of "
+                  f"{shards_seen}/{shards} shard journal(s) or the cache"))
+    return CampaignResult(
+        outcomes=outcomes,
+        figures=names,
+        workers=0,
+        scale=scale,
+        seed=seed,
+        shard=(shards_seen, shards),
+        identity=identity,
     )

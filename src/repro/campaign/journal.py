@@ -1,0 +1,247 @@
+"""Crash-safe campaign journal: an append-only, fsynced WAL of outcomes.
+
+A campaign killed mid-wave (SIGKILL, OOM, CI timeout) loses its process
+but not its progress: every resolved task outcome was already appended
+to the journal and fsynced before the next wave proceeded.  ``repro
+campaign run --resume`` replays the journal, skips the recorded
+successes, and re-executes only the unfinished tail — producing
+artifacts byte-identical to an uninterrupted run, because each task's
+record is deterministic per spec and the merge is order-independent.
+
+Format: one JSON object per line (JSONL).
+
+* line 1 — a ``header`` record binding the journal to a campaign
+  identity (the digest of its full spec list + seed + scale + figures
+  + shard) and to the code that wrote it (``package_digest``).  Resume
+  refuses a journal whose package digest no longer matches: replaying
+  decisions made by different code is how subtle corruption happens.
+* ``task`` records — one per *resolved* task (success, terminal
+  failure, or quarantine), keyed by ``sha256(spec.canonical())``;
+  successes carry the full record so resume does not depend on the
+  result cache surviving.
+* ``retry`` records — one per failed attempt, with the failure class
+  (``error`` / ``timeout`` / ``crash``) and the backoff applied; these
+  are the campaign's crash forensics.
+
+A torn final line (the crash happened mid-append) is tolerated and
+ignored on load; a torn line anywhere else means real corruption and
+raises :class:`JournalError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import TaskSpec
+
+JOURNAL_VERSION = 1
+
+#: journal files live here under the results dir
+JOURNAL_SUBDIR = "journal"
+
+
+class JournalError(RuntimeError):
+    """A journal is corrupt or does not match the requesting campaign."""
+
+
+def journal_key(spec: TaskSpec) -> str:
+    """The spec's journal identity: ``sha256`` of its canonical JSON.
+
+    Unlike :func:`repro.campaign.cache.task_key` this excludes the code
+    fingerprint — the journal binds to code once, in its header.
+    """
+    return hashlib.sha256(spec.canonical().encode()).hexdigest()
+
+
+def campaign_identity(
+    specs: Sequence[TaskSpec],
+    *,
+    seed: int,
+    scale: float,
+    figures: Sequence[str],
+    shard: Tuple[int, int] = (1, 1),
+) -> str:
+    """Digest naming one campaign invocation (stable across code edits,
+    so a resume after a crash finds the same journal file)."""
+    h = hashlib.sha256()
+    h.update(json.dumps(
+        {
+            "seed": seed,
+            "scale": scale,
+            "figures": sorted(figures),
+            "shard": list(shard),
+        },
+        sort_keys=True, separators=(",", ":"),
+    ).encode())
+    for spec in specs:
+        h.update(spec.canonical().encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def journal_path(journal_dir: str, identity: str,
+                 shard: Tuple[int, int] = (1, 1)) -> str:
+    i, n = shard
+    return os.path.join(journal_dir,
+                        f"{identity[:16]}.s{i}of{n}.wal")
+
+
+@dataclass
+class JournalState:
+    """Everything a loaded journal knows."""
+
+    header: Dict[str, Any]
+    #: journal key -> the final ``task`` record (last write wins)
+    tasks: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    retries: List[Dict[str, Any]] = field(default_factory=list)
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Successful task records, by journal key."""
+        return {k: r for k, r in self.tasks.items() if r["status"] == "ok"}
+
+    def quarantined(self) -> Dict[str, Dict[str, Any]]:
+        return {k: r for k, r in self.tasks.items()
+                if r["status"] == "quarantined"}
+
+
+class CampaignJournal:
+    """The writer side: append-only, one fsync per record.
+
+    Opened in append mode so a resumed campaign extends the same file —
+    the header is written only when the file is fresh (or was torn
+    before the header landed).
+    """
+
+    def __init__(self, path: str, header: Dict[str, Any]):
+        self.path = path
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._fh = open(path, "a")
+        if fresh:
+            self._append({"type": "header",
+                          "version": JOURNAL_VERSION, **header})
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def task_resolved(self, spec: TaskSpec, *, status: str,
+                      attempts: int, record: Any = None,
+                      elapsed_s: float = 0.0,
+                      error: Optional[str] = None,
+                      classes: Sequence[str] = ()) -> None:
+        """Record a task's final outcome (``ok``/``failed``/``quarantined``)."""
+        if status not in ("ok", "failed", "quarantined"):
+            raise ValueError(f"unknown status {status!r}")
+        self._append({
+            "type": "task",
+            "key": journal_key(spec),
+            "label": spec.label(),
+            "spec": spec.to_dict(),
+            "status": status,
+            "attempts": attempts,
+            "classes": list(classes),
+            "error": error,
+            "record": record,
+            "elapsed_s": elapsed_s,
+        })
+
+    def retry(self, spec: TaskSpec, *, attempt: int, failure_class: str,
+              error: str, backoff_s: float = 0.0,
+              isolated: bool = False) -> None:
+        """Record one failed attempt and the retry decision."""
+        self._append({
+            "type": "retry",
+            "key": journal_key(spec),
+            "label": spec.label(),
+            "attempt": attempt,
+            "class": failure_class,
+            "error": error,
+            "backoff_s": round(backoff_s, 4),
+            "isolated": isolated,
+        })
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def load_journal(path: str) -> Optional[JournalState]:
+    """Read a journal back; ``None`` if the file does not exist.
+
+    The final line may be torn (the writer died mid-append) and is then
+    ignored; a torn line anywhere earlier raises :class:`JournalError`.
+    """
+    try:
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+    except OSError:
+        return None
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if lineno == len(lines) - 1:
+                break  # torn tail: the crash interrupted this append
+            raise JournalError(
+                f"{path}: corrupt record at line {lineno + 1} "
+                "(not the tail — the journal is damaged)"
+            )
+    if not records:
+        return None
+    header = records[0]
+    if header.get("type") != "header":
+        raise JournalError(f"{path}: first record is not a header")
+    state = JournalState(header=header)
+    for rec in records[1:]:
+        kind = rec.get("type")
+        if kind == "task":
+            state.tasks[rec["key"]] = rec
+        elif kind == "retry":
+            state.retries.append(rec)
+    return state
+
+
+def open_for_resume(
+    path: str,
+    *,
+    identity: str,
+    package: str,
+) -> Tuple[Optional[JournalState], Dict[str, Any]]:
+    """Validate an existing journal against the resuming campaign.
+
+    Returns ``(state, header)`` where ``state`` is ``None`` when there
+    is nothing to resume.  Raises :class:`JournalError` if the journal
+    belongs to a different campaign or was written by different code —
+    a resume must never mix decisions across code versions.
+    """
+    state = load_journal(path)
+    header = {"identity": identity, "package_digest": package}
+    if state is None:
+        return None, header
+    if state.header.get("identity") != identity:
+        raise JournalError(
+            f"{path}: journal identity {state.header.get('identity', '?')[:16]} "
+            f"does not match this campaign ({identity[:16]})"
+        )
+    if state.header.get("package_digest") != package:
+        raise JournalError(
+            f"{path}: journal was written by a different code version "
+            "(package digest changed); re-run without --resume"
+        )
+    return state, header

@@ -17,6 +17,7 @@ in Perfetto / chrome://tracing) and prints the wake-latency anatomy.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List
 
@@ -307,6 +308,8 @@ def _chaos_cmd(args) -> int:
         plans = [SHIPPED_PLANS[args.plan]]
 
     seeds = args.seed or [7, 42, config.DEFAULT_SEED]
+    if args.checkpoint_before_fault:
+        return _chaos_checkpoint_cmd(args, plans, seeds)
     rows = []
     failures = 0
     for plan in plans:
@@ -333,6 +336,67 @@ def _chaos_cmd(args) -> int:
     if failures:
         print(f"{failures} scenario(s) FAILED their invariants")
     return 1 if failures else 0
+
+
+def _chaos_checkpoint_cmd(args, plans, seeds) -> int:
+    """``repro chaos --checkpoint-before-fault``: replay debugging.
+
+    For each plan × seed the scenario runs twice, pausing both runs for
+    a pure machine snapshot just before the first fault window opens.
+    The two captures must agree component-for-component (the healthy
+    prefix replays exactly) and the two final verdicts must be
+    identical (the continuation past the checkpoint is deterministic).
+    Any divergence prints the per-component diff and exits non-zero —
+    if this gate holds, "re-run to just before the fault" is a sound
+    way to inspect the moment a fault lands.
+    """
+    from repro.faults import run_chaos
+    from repro.sim.units import US
+
+    rows = []
+    bad = 0
+    for plan in plans:
+        for seed in seeds:
+            t_ck = max(0, plan.first_fault_start_ns() - US)
+            base = run_chaos(plan, seed=seed, duration_ms=args.duration_ms,
+                             checkpoint_at_ns=t_ck)
+            replay = run_chaos(plan, seed=seed, duration_ms=args.duration_ms,
+                               checkpoint_at_ns=t_ck)
+            diff = base.checkpoint.diff(replay.checkpoint)
+
+            def final(r):
+                return (r.offered, r.delivered, r.drops, r.max_head_age_ns,
+                        r.escalations, r.watchdog_wakes, r.recovery_ns,
+                        r.overload_entries, tuple(r.violations))
+
+            same_final = final(base) == final(replay)
+            ok = not diff and same_final
+            bad += 0 if ok else 1
+            rows.append((
+                plan.name, seed, f"{t_ck / 1e6:.3f}",
+                f"{base.checkpoint.size_bytes() / 1024:.1f}",
+                "ok" if not diff else f"{len(diff)} DIVERGED",
+                "ok" if same_final else "DIVERGED",
+                "ok" if base.ok else "FAIL",
+            ))
+            for line in diff[:5]:
+                rows.append((f"  ^ {line}", "", "", "", "", "", ""))
+            if args.checkpoint_out:
+                path = (args.checkpoint_out if len(plans) * len(seeds) == 1
+                        else f"{args.checkpoint_out}.{plan.name}.s{seed}.json")
+                base.checkpoint.save(path)
+                print(f"checkpoint ({plan.name}, seed {seed}) -> {path}")
+    print(render_table(
+        f"chaos checkpoint-before-fault — {args.duration_ms} ms per run",
+        ["plan", "seed", "ckpt ms", "state KB", "prefix", "final",
+         "invariants"],
+        rows,
+    ))
+    if bad:
+        print(f"{bad} scenario(s) DIVERGED between checkpoint and replay")
+    else:
+        print("every prefix and continuation replayed byte-identical")
+    return 1 if bad else 0
 
 
 def _check_cmd(args) -> int:
@@ -398,6 +462,43 @@ def _bench_cmd(args) -> int:
     return 1 if failures else 0
 
 
+def _parse_shard(text: str):
+    """``"i/N"`` -> ``(i, N)``; raises ValueError on nonsense."""
+    i_s, _, n_s = text.partition("/")
+    shard = (int(i_s), int(n_s))
+    if not (1 <= shard[0] <= shard[1]):
+        raise ValueError(f"shard must satisfy 1 <= i <= N, got {text!r}")
+    return shard
+
+
+def _emit_campaign_artifacts(camp, res, results_dir: str) -> None:
+    """Render and atomically write every complete figure's artifacts,
+    print failures for incomplete ones, and write the campaign summary.
+    Shared by ``campaign run`` and ``campaign merge`` so a merged
+    sharded campaign emits byte-identical files to an unsharded run."""
+    for name in res.figures:
+        outs = res.figure_outcomes(name)
+        record = res.record_for(name)
+        if record is None:
+            bad = [o for o in outs if not o.ok]
+            print(f"\n{name}: FAILED — "
+                  + "; ".join(f"{o.spec.label()}: {o.error}" for o in bad))
+            continue
+        fig = camp.get_figure(name)
+        text = fig.render(record)
+        camp.write_figure_artifacts(
+            results_dir, name, text,
+            camp.figure_payload(
+                name, fig.scenario, record,
+                seed=res.seed, scale=res.scale, tasks=len(outs),
+                from_cache=sum(1 for o in outs if o.from_cache),
+                elapsed_s=sum(o.elapsed_s for o in outs),
+            ),
+        )
+        print("\n" + text)
+    camp.write_campaign_summary(results_dir, res.summary())
+
+
 def _campaign_cmd(args) -> int:
     """``repro campaign``: sharded, cached sweeps (docs/CAMPAIGN.md)."""
     from repro import campaign as camp
@@ -440,7 +541,6 @@ def _campaign_cmd(args) -> int:
               f"{stats['bytes'] / 1e6:.2f} MB under {stats['dir']}")
         return 0
 
-    # run
     figures = None
     if args.figures:
         figures = [f.strip() for f in args.figures.split(",") if f.strip()]
@@ -452,41 +552,79 @@ def _campaign_cmd(args) -> int:
     cache = None
     if not args.no_cache:
         cache = camp.ResultCache(camp.default_cache_dir(results_dir))
-    res = camp.run_campaign(
-        figures,
-        workers=args.workers,
-        scale=FAST_SCALE if args.fast else 1.0,
-        seed=args.seed,
-        cache=cache,
-        timeout_s=args.timeout_s,
-        retries=args.retries,
-        fail_tasks=args.fail_tasks,
-        progress=True,
-    )
-    for name in res.figures:
-        outs = res.figure_outcomes(name)
-        record = res.record_for(name)
-        if record is None:
-            bad = [o for o in outs if not o.ok]
-            print(f"\n{name}: FAILED — "
-                  + "; ".join(f"{o.spec.label()}: {o.error}" for o in bad))
-            continue
-        fig = camp.get_figure(name)
-        text = fig.render(record)
-        camp.write_figure_artifacts(
-            results_dir, name, text,
-            camp.figure_payload(
-                name, fig.scenario, record,
-                seed=res.seed, scale=res.scale, tasks=len(outs),
-                from_cache=sum(1 for o in outs if o.from_cache),
-                elapsed_s=sum(o.elapsed_s for o in outs),
-            ),
+    journal_dir = os.path.join(results_dir, camp.JOURNAL_SUBDIR)
+
+    if args.campaign_cmd == "merge":
+        try:
+            res = camp.merge_shards(
+                figures,
+                shards=args.shards,
+                scale=FAST_SCALE if args.fast else 1.0,
+                seed=args.seed,
+                journal_dir=journal_dir,
+                cache=cache,
+            )
+        except camp.JournalError as exc:
+            print(f"merge refused: {exc}")
+            return 2
+        _emit_campaign_artifacts(camp, res, results_dir)
+        missing = [o for o in res.failures
+                   if o.error and o.error.startswith("missing")]
+        report = res.quarantine_report()
+        if report:
+            print("\n" + report)
+        print(f"\nmerge: {len(res.outcomes)} tasks from "
+              f"{res.shard[0]}/{res.shard[1]} shard journal(s), "
+              f"{len(res.failures)} failure(s) -> {results_dir}")
+        if missing:
+            return 2
+        return 1 if res.failures else 0
+
+    # run
+    shard = (1, 1)
+    if args.shard:
+        try:
+            shard = _parse_shard(args.shard)
+        except ValueError as exc:
+            print(f"bad --shard: {exc}")
+            return 2
+    if args.resume and args.no_journal:
+        print("--resume needs the journal; drop --no-journal")
+        return 2
+    try:
+        res = camp.run_campaign(
+            figures,
+            workers=args.workers,
+            scale=FAST_SCALE if args.fast else 1.0,
+            seed=args.seed,
+            cache=cache,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            fail_tasks=args.fail_tasks,
+            progress=True,
+            shard=shard,
+            journal_dir=None if args.no_journal else journal_dir,
+            resume=args.resume,
+            backoff_base_s=args.backoff_s,
         )
-        print("\n" + text)
-    camp.write_campaign_summary(results_dir, res.summary())
+    except camp.JournalError as exc:
+        print(f"resume refused: {exc}")
+        return 2
+    if shard == (1, 1):
+        _emit_campaign_artifacts(camp, res, results_dir)
+    else:
+        # a shard holds an incomplete grid; figure artifacts would look
+        # whole but lie — emission waits for `repro campaign merge`
+        print(f"shard {shard[0]}/{shard[1]}: {len(res.outcomes)} task(s) "
+              "journaled; run `repro campaign merge` once every shard "
+              "is done")
+    report = res.quarantine_report()
+    if report:
+        print("\n" + report)
     print(f"\ncampaign: {len(res.outcomes)} tasks in {res.wall_s:.1f}s wall, "
           f"cache {res.cache_hits}/{len(res.outcomes)} "
           f"({100 * res.cache_hit_rate:.0f}% hit rate), "
+          f"{res.resumed_count} resumed, "
           f"{len(res.failures)} failure(s) -> {results_dir}")
     return 1 if res.failures else 0
 
@@ -591,6 +729,13 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--seed", type=int, action="append", default=None,
                     help="seed (repeatable; default 7, 42, 2020)")
     ch.add_argument("--duration-ms", type=int, default=40)
+    ch.add_argument("--checkpoint-before-fault", action="store_true",
+                    help="replay-debug gate: snapshot just before the "
+                         "first fault window, re-run, and verify the "
+                         "prefix and continuation replay byte-identical")
+    ch.add_argument("--checkpoint-out", default=None, metavar="PATH",
+                    help="with --checkpoint-before-fault: save the "
+                         "captured MachineState JSON here")
     ck = sub.add_parser(
         "check",
         help="conformance: runtime invariant monitors + model-vs-sim oracle")
@@ -634,8 +779,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="re-attempts per failed or timed-out task")
     crun.add_argument("--results-dir", default=None,
                       help="artifact directory (default benchmarks/results)")
+    crun.add_argument("--resume", action="store_true",
+                      help="replay this campaign's journal and re-execute "
+                           "only its unfinished tasks")
+    crun.add_argument("--shard", default=None, metavar="i/N",
+                      help="run the i-th of N deterministic partitions of "
+                           "the task grid (reassemble with `campaign merge`)")
+    crun.add_argument("--no-journal", action="store_true",
+                      help="skip the crash-safe journal (no --resume later)")
+    crun.add_argument("--backoff-s", type=float, default=0.5,
+                      help="base retry backoff, doubled per attempt with "
+                           "seeded jitter (0 disables; default 0.5)")
     # test/CI hook: make the named figure's (or scenario's) tasks raise
     crun.add_argument("--fail-tasks", default=None, help=argparse.SUPPRESS)
+    cmerge = casub.add_parser(
+        "merge",
+        help="reassemble a sharded campaign's artifacts from its journals")
+    cmerge.add_argument("--shards", type=int, required=True, metavar="N",
+                        help="total shard count the campaign was split into")
+    cmerge.add_argument("--figures", default=None,
+                        help="comma-separated figure names (default: all)")
+    cmerge.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    cmerge.add_argument("--fast", action="store_true",
+                        help="the shards were run with --fast")
+    cmerge.add_argument("--no-cache", action="store_true",
+                        help="do not fall back to the result cache for "
+                             "tasks missing from the journals")
+    cmerge.add_argument("--results-dir", default=None,
+                        help="artifact directory (default benchmarks/results)")
     cst = casub.add_parser(
         "status", help="show the last campaign summary and cache stats")
     cst.add_argument("--results-dir", default=None)

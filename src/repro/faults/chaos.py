@@ -29,6 +29,7 @@ from repro.sim.units import MS
 
 if TYPE_CHECKING:  # pragma: no cover — avoids a cycle with the harness
     from repro.harness.experiment import MetronomeRunResult
+    from repro.sim.snapshot import MachineState
 
 
 @dataclass
@@ -62,6 +63,10 @@ class ChaosResult:
     #: chaos invariants above — ``ok`` judges survival, not conformance
     monitor_violations: List[str] = field(default_factory=list)
     result: Optional["MetronomeRunResult"] = field(default=None, repr=False)
+    #: mid-run machine snapshot (only when ``checkpoint_at_ns`` was
+    #: given); the replay-debugging anchor for ``repro chaos
+    #: --checkpoint-before-fault``
+    checkpoint: Optional["MachineState"] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -78,8 +83,16 @@ def run_chaos(
     watchdog: Optional[WatchdogConfig] = None,
     keep_result: bool = False,
     checks: bool = False,
+    checkpoint_at_ns: Optional[int] = None,
 ) -> ChaosResult:
-    """Run one adversarial scenario and evaluate its invariants."""
+    """Run one adversarial scenario and evaluate its invariants.
+
+    ``checkpoint_at_ns`` snapshots the machine once at that virtual
+    time (pure — the verdict is unchanged); the state comes back as
+    ``ChaosResult.checkpoint``.  Snapshot just before
+    ``plan.first_fault_start_ns()`` to pin the healthy prefix for
+    replay debugging.
+    """
     # imported here, not at module top: the harness itself imports
     # repro.faults.plan, so a top-level import would be circular
     from repro.harness.experiment import run_metronome
@@ -105,6 +118,7 @@ def run_chaos(
         fault_plan=plan,
         watchdog=watchdog,
         checks=checks,
+        checkpoint_at_ns=checkpoint_at_ns,
     )
     group = result.group
     machine = result.machine
@@ -159,4 +173,5 @@ def run_chaos(
         violations=violations,
         monitor_violations=monitor_violations,
         result=result if keep_result else None,
+        checkpoint=result.checkpoint,
     )

@@ -86,6 +86,20 @@ class FaultEngine:
         """When the final fault window closes (recovery clock zero)."""
         return self.plan.last_fault_end_ns()
 
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: per-kind counters + active windows."""
+        kinds = sorted(self.plan.kinds())
+        return {
+            "plan": self.plan.to_dict(),
+            "started": self._started,
+            "episodes": {k: self.episodes(k) for k in kinds},
+            "events": {k: self.events(k) for k in kinds},
+            "active": [
+                [i, inj.kind] for i, inj in enumerate(self.injectors)
+                if getattr(inj, "active", False)
+            ],
+        }
+
     # -- bookkeeping (called by injectors) ------------------------------- #
 
     def note_episode(self, kind: str) -> None:

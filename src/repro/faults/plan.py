@@ -127,6 +127,15 @@ class FaultPlan:
         """When the final fault window closes (0 for an empty plan)."""
         return max((s.end_ns for s in self.specs), default=0)
 
+    def first_fault_start_ns(self) -> int:
+        """When the earliest fault window opens (0 for an empty plan).
+
+        The anchor for ``repro chaos --checkpoint-before-fault``: a
+        checkpoint just before this instant captures the entire healthy
+        prefix of the run.
+        """
+        return min((s.start_ns for s in self.specs), default=0)
+
     def kinds(self) -> Tuple[str, ...]:
         """Distinct kinds present, in first-appearance order."""
         seen = []

@@ -24,6 +24,7 @@ from repro.nic.device import NicPort
 from repro.nic.flows import FlowSet
 from repro.nic.rxqueue import RxQueue
 from repro.nic.traffic import ArrivalProcess, CbrProcess, FaultableProcess
+from repro.sim.snapshot import MachineState
 from repro.sim.units import MS, SEC, US
 
 
@@ -78,6 +79,7 @@ class MetronomeRunResult(BaseRunResult):
     ts_us: float = 0.0
     group: Optional[MetronomeGroup] = field(default=None, repr=False)
     machine: Optional[Machine] = field(default=None, repr=False)
+    checkpoint: Optional[MachineState] = field(default=None, repr=False)
 
     @property
     def busy_try_fraction(self) -> float:
@@ -88,12 +90,43 @@ class MetronomeRunResult(BaseRunResult):
 class DpdkRunResult(BaseRunResult):
     lcore: Optional[PollModeLcore] = field(default=None, repr=False)
     machine: Optional[Machine] = field(default=None, repr=False)
+    checkpoint: Optional[MachineState] = field(default=None, repr=False)
 
 
 @dataclass
 class XdpRunResult(BaseRunResult):
     irqs: int = 0
     machine: Optional[Machine] = field(default=None, repr=False)
+    checkpoint: Optional[MachineState] = field(default=None, repr=False)
+
+
+def _run_with_checkpoint(
+    machine: Machine,
+    until: int,
+    checkpoint_at_ns: Optional[int],
+    at_checkpoint: Optional[Callable[[Machine, MachineState], None]],
+    label: str,
+    prior: Optional[MachineState] = None,
+) -> Optional[MachineState]:
+    """Advance to ``until``, pausing once at ``checkpoint_at_ns``.
+
+    The pause takes a :meth:`Machine.snapshot` (pure, so the run's
+    results are unchanged) and hands ``(machine, state)`` to
+    ``at_checkpoint``.  The hook is the fork-into-variant-futures seam:
+    it may mutate the live machine (retune the controller, inject an
+    extra workload, ...) so the remainder of the run explores a variant
+    future sharing the snapshot's verified prefix.  ``prior`` threads an
+    already-taken checkpoint through multi-phase runs (warmup, then the
+    measured window) so the snapshot is taken exactly once.
+    """
+    if (prior is None and checkpoint_at_ns is not None
+            and machine.now <= checkpoint_at_ns <= until):
+        machine.run(until=checkpoint_at_ns)
+        prior = machine.snapshot(label=label)
+        if at_checkpoint is not None:
+            at_checkpoint(machine, prior)
+    machine.run(until=until)
+    return prior
 
 
 def _make_queue(
@@ -132,6 +165,8 @@ def run_metronome(
     watchdog: Optional[WatchdogConfig] = None,
     rotate_scan: bool = True,
     checks: bool = False,
+    checkpoint_at_ns: Optional[int] = None,
+    at_checkpoint: Optional[Callable[[Machine, MachineState], None]] = None,
 ) -> MetronomeRunResult:
     """Run Metronome over one shared Rx queue.
 
@@ -150,6 +185,12 @@ def run_metronome(
     ``checks=True`` enables the :mod:`repro.check` invariant monitors
     (zero-perturbation, like tracing) and runs their quiesce pass after
     the run; read violations back via ``result.machine.checks``.
+
+    ``checkpoint_at_ns`` pauses the run once at that absolute virtual
+    time to take a pure :meth:`Machine.snapshot` (returned as
+    ``result.checkpoint``); ``at_checkpoint(machine, state)`` may then
+    mutate the live machine to fork a variant future off the verified
+    prefix (see :mod:`repro.sim.snapshot`).
     """
     cfg = cfg or config.SimConfig()
     machine = Machine(cfg)
@@ -195,8 +236,11 @@ def run_metronome(
         setup_hook(machine, group)
     # warmup lets the controller settle before measuring
     t_start = warmup_ms * MS
+    ckpt = None
     if t_start:
-        machine.run(until=t_start)
+        ckpt = _run_with_checkpoint(
+            machine, t_start, checkpoint_at_ns, at_checkpoint, "metronome"
+        )
 
     def exec_busy() -> int:
         return sum(
@@ -206,7 +250,10 @@ def run_metronome(
 
     busy0 = exec_busy()
     e0 = machine.energy_joules()
-    machine.run(until=t_start + duration_ms * MS)
+    ckpt = _run_with_checkpoint(
+        machine, t_start + duration_ms * MS, checkpoint_at_ns, at_checkpoint,
+        "metronome", prior=ckpt,
+    )
     busy1 = exec_busy()
 
     queue.sync()
@@ -232,6 +279,7 @@ def run_metronome(
         ts_us=group.tuner.ts_ns() / US,
         group=group,
         machine=machine,
+        checkpoint=ckpt,
     )
 
 
@@ -246,6 +294,8 @@ def run_dpdk(
     setup_hook: Optional[Callable[[Machine, PollModeLcore], None]] = None,
     trace: bool = False,
     checks: bool = False,
+    checkpoint_at_ns: Optional[int] = None,
+    at_checkpoint: Optional[Callable[[Machine, MachineState], None]] = None,
 ) -> DpdkRunResult:
     """Run the static continuous-polling DPDK baseline (one lcore)."""
     cfg = cfg or config.SimConfig()
@@ -266,7 +316,9 @@ def run_dpdk(
     if setup_hook is not None:
         setup_hook(machine, lcore)
     e0 = machine.energy_joules()
-    machine.run(until=duration_ms * MS)
+    ckpt = _run_with_checkpoint(
+        machine, duration_ms * MS, checkpoint_at_ns, at_checkpoint, "dpdk"
+    )
     queue.sync()
     if machine.checks is not None:
         machine.checks.quiesce(consumed=lcore.rx_packets)
@@ -280,6 +332,7 @@ def run_dpdk(
         latency=latency,
         lcore=lcore,
         machine=machine,
+        checkpoint=ckpt,
     )
 
 
@@ -294,6 +347,8 @@ def run_xdp(
     prewarmed: bool = True,
     trace: bool = False,
     checks: bool = False,
+    checkpoint_at_ns: Optional[int] = None,
+    at_checkpoint: Optional[Callable[[Machine, MachineState], None]] = None,
 ) -> XdpRunResult:
     """Run the XDP baseline: ``num_queues`` queues, 1:1 queue-to-core.
 
@@ -329,7 +384,9 @@ def run_xdp(
             q._last_active_ns = 0
     driver.start()
     e0 = machine.energy_joules()
-    machine.run(until=duration_ms * MS)
+    ckpt = _run_with_checkpoint(
+        machine, duration_ms * MS, checkpoint_at_ns, at_checkpoint, "xdp"
+    )
     if machine.checks is not None:
         for q in driver.queues:
             q.queue.sync()
@@ -344,4 +401,5 @@ def run_xdp(
         latency=driver.latency,
         irqs=driver.total_irqs,
         machine=machine,
+        checkpoint=ckpt,
     )

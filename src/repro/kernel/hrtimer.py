@@ -94,6 +94,20 @@ class HrTimerQueue:
             tracer.timer_arm(self.core.index, expiry)
         return timer
 
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint: the armed-expiry multiset + counters.
+
+        Timers hold live callbacks, so (like the calendar queue) the
+        snapshot pins the observable structure, not the objects.  Pure
+        read — nothing is pruned or re-heaped.
+        """
+        return {
+            "core": self.core.index,
+            "armed": sorted(t.expiry for t in self._armed.values()),
+            "fired_count": self.fired_count,
+            "arm_seq": self._arm_seq,
+        }
+
     def next_expiry(self) -> Optional[int]:
         """Earliest pending expiry on this core (menu-governor input)."""
         heap = self._expiry_heap

@@ -149,6 +149,34 @@ class Machine:
         return self.faults
 
     # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, label: str = ""):
+        """Checkpoint this machine's state right now.
+
+        Returns a JSON-serializable
+        :class:`~repro.sim.snapshot.MachineState`: exact RNG stream
+        states plus structural fingerprints of every subsystem.  Pure
+        observation — taking a snapshot never changes a run's results.
+        """
+        from repro.sim.snapshot import capture
+
+        return capture(self, label=label)
+
+    def restore(self, state, strict: bool = True):
+        """Replay this (freshly built) machine to ``state`` and verify.
+
+        The machine must be wired with the same config, seed, and
+        workload recipe that produced the snapshot.  See
+        :func:`repro.sim.snapshot.restore` for the contract; raises
+        :class:`~repro.sim.snapshot.SnapshotMismatch` on divergence.
+        """
+        from repro.sim.snapshot import restore
+
+        return restore(self, state, strict=strict)
+
+    # ------------------------------------------------------------------ #
     # running
     # ------------------------------------------------------------------ #
 

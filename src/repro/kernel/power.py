@@ -75,6 +75,22 @@ class PowerMeter:
         pkg = config.PKG_IDLE_W * self.sim.now * 1e-9
         return self._energy_j + pkg
 
+    def peek_joules(self) -> float:
+        """Like :meth:`read_joules` but pure: open intervals are summed
+        without being closed.  The checkpoint layer reads through here —
+        closing intervals would regroup the float accumulation
+        (``w*(dt1+dt2)`` vs ``w*dt1 + w*dt2``) and nudge the final
+        energy by an ulp, breaking byte-identical continuation."""
+        now = self.sim.now
+        pending = 0.0
+        for core in self.machine.cores:
+            dt = now - self._last_t[core.index]
+            if dt > 0:
+                pending += core_power_w(core.is_busy, core.freq,
+                                        core.base_freq) * dt * 1e-9
+        pkg = config.PKG_IDLE_W * now * 1e-9
+        return self._energy_j + pending + pkg
+
 
 class PerformanceGovernor:
     """All cores at maximum frequency, always."""

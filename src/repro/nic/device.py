@@ -50,6 +50,9 @@ class NicPort:
         #: the single scheduled drain event covering all armed queues
         self._irq_batch: Optional[Handle] = None
         self._irq_batch_when = 0
+        ports = getattr(sim, "nic_ports", None)
+        if ports is not None:
+            ports.append(self)
 
     # ------------------------------------------------------------------ #
 
@@ -114,6 +117,19 @@ class NicPort:
             cb()
 
     # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint of the IRQ machinery (pure read)."""
+        return {
+            "irq_pending": sorted(
+                [qi, when, seq]
+                for qi, (when, seq, _cb) in self._irq_pending.items()
+            ),
+            "irq_arm_seq": self._irq_arm_seq,
+            "irq_batch_when": (
+                self._irq_batch_when if self._irq_batch is not None else None
+            ),
+        }
 
     def total_drops(self) -> int:
         return sum(q.drops for q in self.queues)

@@ -56,6 +56,9 @@ class RxQueue:
         self.checks = getattr(sim, "monitor", None)
         if self.checks is not None:
             self.checks.register_queue(self)
+        queues = getattr(sim, "rx_queues", None)
+        if queues is not None:
+            queues.append(self)
 
     # ------------------------------------------------------------------ #
 
@@ -138,6 +141,30 @@ class RxQueue:
         if not self._tagged:
             return 0
         return max(0, self.sim.now - self._tagged[0].arrival_ns)
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint of queue + ring + arrival process.
+
+        Deliberately does **not** call :meth:`sync`: materializing the
+        pending interval here would split the tag interpolation at the
+        snapshot time and change downstream latency samples — the
+        capture must be a pure read.  Two replays that agree on
+        ``process.last_t`` and the counters below have materialized
+        exactly the same arrivals.
+        """
+        return {
+            "index": self.index,
+            "process_last_t": self.process.last_t,
+            "arrived_total": self.arrived_total,
+            "tagged_drops": self.tagged_drops,
+            "tagged_waiting": len(self._tagged),
+            "ring": {
+                "head_seq": self.ring.head_seq,
+                "tail_seq": self.ring.tail_seq,
+                "drops": self.ring.drops,
+                "occupancy": self.ring.occupancy,
+            },
+        }
 
     @property
     def drops(self) -> int:

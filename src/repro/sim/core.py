@@ -37,6 +37,8 @@ Two levels of abstraction are offered:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional
 
@@ -185,6 +187,11 @@ class Simulator:
         #: every live event pop (clock monotonicity) and RxQueues
         #: self-register for conservation checks at construction.
         self.monitor = None
+        #: NIC components self-register here at construction so a
+        #: checkpoint (repro.sim.snapshot) can enumerate them in a
+        #: stable order without the Machine knowing the NIC topology
+        self.rx_queues: list = []
+        self.nic_ports: list = []
 
     # ------------------------------------------------------------------ #
     # Scheduling primitives
@@ -448,6 +455,39 @@ class Simulator:
     def pending(self) -> int:
         """Number of live scheduled callbacks (tombstones excluded)."""
         return self._live
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint fingerprint of the calendar (pure read).
+
+        Entries hold live callbacks, which cannot leave the process, so
+        the snapshot pins the *observable* structure instead: the sorted
+        ``(time, seq)`` multiset of every live entry across all stores.
+        Two deterministic replays that agree on this multiset (and on
+        ``now``/``_seq``) fire the same callbacks in the same order.
+        Unlike :meth:`peek`, nothing is staged or popped here.
+        """
+        pending = [
+            (e[0], e[1])
+            for store in (self._run[self._run_pos:], self._extra, self._far)
+            for e in store
+            if e[3] is not None
+        ]
+        pending.extend(
+            (e[0], e[1])
+            for lst in self._buckets
+            for e in lst
+            if e[3] is not None
+        )
+        pending.sort()
+        digest = hashlib.sha256(
+            json.dumps(pending, separators=(",", ":")).encode()
+        ).hexdigest()
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "live": self._live,
+            "pending_digest": digest,
+        }
 
     def peek(self) -> Optional[int]:
         """Time of the next live scheduled callback, or None if empty."""

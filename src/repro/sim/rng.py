@@ -58,3 +58,45 @@ class RandomStreams:
     def fork(self, name: str) -> "RandomStreams":
         """A child factory whose streams are independent of the parent's."""
         return RandomStreams(_derive_seed(self.master_seed, "fork:" + name))
+
+    def snapshot_state(self) -> dict:
+        """Exact, JSON-serializable state of every materialized stream.
+
+        Both ``random.Random.getstate()`` and numpy's
+        ``bit_generator.state`` are plain data, so — unlike the event
+        calendar — RNG state round-trips losslessly across processes.
+        """
+        return {
+            "master_seed": self.master_seed,
+            "streams": {
+                name: [s[0], list(s[1]), s[2]]
+                for name, s in (
+                    (n, rng.getstate()) for n, rng in self._streams.items()
+                )
+            },
+            "np_streams": {
+                name: gen.bit_generator.state
+                for name, gen in self._np_streams.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Pin every stream to the generator states in ``state``.
+
+        Streams not yet materialized are created first (via the normal
+        seed derivation) and then overwritten, so restore works in a
+        fresh process that has drawn nothing.
+        """
+        if state["master_seed"] != self.master_seed:
+            raise ValueError(
+                f"snapshot was taken under master_seed="
+                f"{state['master_seed']}, not {self.master_seed}"
+            )
+        for name, (version, internal, gauss_next) in sorted(
+            state["streams"].items()
+        ):
+            # getstate() -> (version, internal_state_tuple, gauss_next);
+            # setstate wants the inner state back as a tuple
+            self.stream(name).setstate((version, tuple(internal), gauss_next))
+        for name, gen_state in sorted(state["np_streams"].items()):
+            self.numpy_stream(name).bit_generator.state = gen_state

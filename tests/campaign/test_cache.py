@@ -58,13 +58,63 @@ def test_record_is_json_normalized_on_put(tmp_path):
     assert entry.record == [[300, 1.5]]
 
 
-def test_corrupt_entry_is_a_miss(tmp_path):
+def test_corrupt_entry_is_a_miss_and_is_evicted(tmp_path):
     cache = ResultCache(str(tmp_path))
     spec = _spec()
     key = cache.put(spec, [1], 0.1, fingerprint="abc")
     path = tmp_path / f"{key}.json"
     path.write_text("{not json", encoding="utf-8")
     assert cache.get(spec, fingerprint="abc") is None
+    # the corrupt file is evicted so a fresh put can land (put skips
+    # already-present paths)
+    assert not path.exists()
+    cache.put(spec, [2], 0.1, fingerprint="abc")
+    assert cache.get(spec, fingerprint="abc").record == [2]
+
+
+def test_put_keeps_existing_entry(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = _spec()
+    cache.put(spec, [1], 0.1, fingerprint="abc")
+    # a second writer computing the same content-addressed record must
+    # not clobber the entry (records are deterministic per key)
+    cache.put(spec, [1], 9.9, fingerprint="abc")
+    assert cache.get(spec, fingerprint="abc").elapsed_s == 0.1
+
+
+def test_concurrent_writers_never_corrupt(tmp_path):
+    """Two processes hammering the same key leave exactly one valid
+    entry — the shard-campaigns-sharing-a-cache regression test."""
+    import multiprocessing as mp
+
+    spec = _spec()
+
+    def writer(root, reps, out):
+        c = ResultCache(root)
+        try:
+            for i in range(reps):
+                c.put(spec, [[300, 1.5, 0.4]], 0.2, fingerprint="abc")
+                entry = c.get(spec, fingerprint="abc")
+                assert entry is not None, "reader saw a partial entry"
+                assert entry.record == [[300, 1.5, 0.4]]
+            out.put("ok")
+        except BaseException as exc:  # surface the failure to the parent
+            out.put(f"{type(exc).__name__}: {exc}")
+
+    ctx = mp.get_context()
+    out = ctx.Queue()
+    procs = [ctx.Process(target=writer, args=(str(tmp_path), 200, out))
+             for _ in range(2)]
+    for p in procs:
+        p.start()
+    results = [out.get(timeout=60) for _ in procs]
+    for p in procs:
+        p.join(timeout=60)
+    assert results == ["ok", "ok"]
+    entry = ResultCache(str(tmp_path)).get(spec, fingerprint="abc")
+    assert entry is not None and entry.record == [[300, 1.5, 0.4]]
+    # no stray temp files left behind by either writer
+    assert all(not n.endswith(".tmp") for n in os.listdir(tmp_path))
 
 
 def test_entries_are_flat_json_files(tmp_path):

@@ -1,0 +1,140 @@
+"""The campaign WAL: append/load round-trips, torn lines, validation."""
+
+import json
+
+import pytest
+
+from repro.campaign.journal import (
+    CampaignJournal,
+    JournalError,
+    campaign_identity,
+    journal_key,
+    journal_path,
+    load_journal,
+    open_for_resume,
+)
+from repro.campaign.spec import TaskSpec
+
+SPEC = TaskSpec(figure="toy", scenario="toy_scenario",
+                params={"xs": (1, 2), "duration_ms": 4}, seed=7, index=0)
+SPEC2 = TaskSpec(figure="toy", scenario="toy_scenario",
+                 params={"xs": (3,), "duration_ms": 4}, seed=7, index=1)
+HEADER = {"identity": "i" * 64, "package_digest": "p" * 64}
+
+
+def test_round_trip(tmp_path):
+    path = str(tmp_path / "c.wal")
+    with CampaignJournal(path, HEADER) as j:
+        j.retry(SPEC, attempt=1, failure_class="error",
+                error="boom", backoff_s=0.25)
+        j.task_resolved(SPEC, status="ok", attempts=2,
+                        record=[[1, 7]], elapsed_s=0.5,
+                        classes=["error"])
+        j.task_resolved(SPEC2, status="quarantined", attempts=3,
+                        error="worker process died",
+                        classes=["crash", "crash", "crash"])
+    state = load_journal(path)
+    assert state.header["identity"] == HEADER["identity"]
+    assert len(state.tasks) == 2
+    done = state.completed()
+    assert list(done) == [journal_key(SPEC)]
+    assert done[journal_key(SPEC)]["record"] == [[1, 7]]
+    assert done[journal_key(SPEC)]["classes"] == ["error"]
+    quarantined = state.quarantined()
+    assert list(quarantined) == [journal_key(SPEC2)]
+    assert quarantined[journal_key(SPEC2)]["attempts"] == 3
+    assert [r["class"] for r in state.retries] == ["error"]
+    assert state.retries[0]["backoff_s"] == 0.25
+
+
+def test_last_write_wins(tmp_path):
+    path = str(tmp_path / "c.wal")
+    with CampaignJournal(path, HEADER) as j:
+        j.task_resolved(SPEC, status="quarantined", attempts=3, error="x")
+        j.task_resolved(SPEC, status="ok", attempts=4, record=[[1]])
+    state = load_journal(path)
+    assert state.tasks[journal_key(SPEC)]["status"] == "ok"
+    assert state.quarantined() == {}
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    path = str(tmp_path / "c.wal")
+    with CampaignJournal(path, HEADER) as j:
+        j.task_resolved(SPEC, status="ok", attempts=1, record=[[1]])
+    with open(path, "a") as fh:
+        fh.write('{"type": "task", "key": "trunca')  # crash mid-append
+    state = load_journal(path)
+    assert len(state.tasks) == 1  # the torn record simply never landed
+
+
+def test_torn_middle_raises(tmp_path):
+    path = str(tmp_path / "c.wal")
+    with CampaignJournal(path, HEADER) as j:
+        j.task_resolved(SPEC, status="ok", attempts=1, record=[[1]])
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    lines.insert(1, '{"type": "task", "key": "trunca')
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="corrupt record at line 2"):
+        load_journal(path)
+
+
+def test_missing_and_headerless(tmp_path):
+    assert load_journal(str(tmp_path / "absent.wal")) is None
+    path = str(tmp_path / "bad.wal")
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"type": "task", "key": "k"}) + "\n")
+    with pytest.raises(JournalError, match="not a header"):
+        load_journal(path)
+
+
+def test_resume_append_extends_same_file(tmp_path):
+    path = str(tmp_path / "c.wal")
+    with CampaignJournal(path, HEADER) as j:
+        j.task_resolved(SPEC, status="ok", attempts=1, record=[[1]])
+    # a second writer (the resumed campaign) appends, no second header
+    with CampaignJournal(path, HEADER) as j:
+        j.task_resolved(SPEC2, status="ok", attempts=1, record=[[2]])
+    with open(path) as fh:
+        records = [json.loads(line) for line in fh]
+    assert [r["type"] for r in records] == ["header", "task", "task"]
+    assert len(load_journal(path).completed()) == 2
+
+
+def test_open_for_resume_validation(tmp_path):
+    path = str(tmp_path / "c.wal")
+    state, _ = open_for_resume(path, identity=HEADER["identity"],
+                               package=HEADER["package_digest"])
+    assert state is None  # nothing there yet: fresh start
+    with CampaignJournal(path, HEADER) as j:
+        j.task_resolved(SPEC, status="ok", attempts=1, record=[[1]])
+    state, _ = open_for_resume(path, identity=HEADER["identity"],
+                               package=HEADER["package_digest"])
+    assert len(state.completed()) == 1
+    with pytest.raises(JournalError, match="does not match this campaign"):
+        open_for_resume(path, identity="z" * 64,
+                        package=HEADER["package_digest"])
+    with pytest.raises(JournalError, match="different code version"):
+        open_for_resume(path, identity=HEADER["identity"], package="z" * 64)
+
+
+def test_identity_and_paths(tmp_path):
+    ident = campaign_identity([SPEC, SPEC2], seed=7, scale=1.0,
+                              figures=("toy",))
+    # stable across calls, order-sensitive in the spec list
+    assert ident == campaign_identity([SPEC, SPEC2], seed=7, scale=1.0,
+                                      figures=("toy",))
+    assert ident != campaign_identity([SPEC2, SPEC], seed=7, scale=1.0,
+                                      figures=("toy",))
+    assert ident != campaign_identity([SPEC, SPEC2], seed=8, scale=1.0,
+                                      figures=("toy",))
+    p1 = journal_path(str(tmp_path), ident, (1, 2))
+    p2 = journal_path(str(tmp_path), ident, (2, 2))
+    assert p1 != p2
+    assert p1.endswith(".s1of2.wal")
+    # keys ignore the grid position, so shard layout cannot alias tasks
+    assert journal_key(SPEC) != journal_key(SPEC2)
+    repositioned = TaskSpec(figure=SPEC.figure, scenario=SPEC.scenario,
+                            params=SPEC.params, seed=SPEC.seed, index=9)
+    assert journal_key(repositioned) == journal_key(SPEC)
