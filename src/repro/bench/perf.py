@@ -181,6 +181,63 @@ def bench_nic_ring(quick: bool) -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------- #
+# trace replay throughput
+# --------------------------------------------------------------------- #
+
+
+def bench_trace_replay(quick: bool) -> Dict[str, float]:
+    """Replayed packets/sec through one Rx ring, vs a Poisson baseline.
+
+    Measures the cost of trace-driven arrival counting (bisect over a
+    materialized schedule) against the same poll loop fed by a
+    :class:`~repro.nic.traffic.PoissonProcess` at the matched mean
+    rate.  Trajectory data only — never gated: the ratio depends on
+    trace density, not on a code-quality invariant.
+    """
+    from repro.nic.rxqueue import RxQueue
+    from repro.nic.traffic import PoissonProcess
+    from repro.sim.core import Simulator
+    from repro.sim.rng import RandomStreams
+    from repro.sim.units import MS
+    from repro.traffic import TraceReplayProcess, benign_phased, generate
+
+    trace = generate(benign_phased((20 if quick else 60) * MS), seed=2020)
+
+    def drain(process) -> Dict[str, float]:
+        sim = Simulator()
+        queue = RxQueue(sim, process, sample_every=64)
+        state = {"drained": 0}
+        horizon = trace.duration_ns
+
+        def poll() -> None:
+            got, _tagged = queue.rx_burst(32)
+            state["drained"] += got
+            if sim.now < horizon:
+                sim.call_after(3_000, poll)
+
+        sim.call_after(3_000, poll)
+        t0 = time.perf_counter()
+        sim.run()
+        dt = time.perf_counter() - t0
+        return {"packets": state["drained"],
+                "packets_per_sec": round(state["drained"] / dt, 1)}
+
+    replay = drain(TraceReplayProcess(trace, loop=True))
+    rate = max(1, int(trace.mean_rate_pps()))
+    poisson = drain(
+        PoissonProcess(rate, RandomStreams(2020).numpy_stream("bench.replay"))
+    )
+    return {
+        "trace_packets": trace.packet_count,
+        "replayed": replay,
+        "poisson": poisson,
+        "vs_poisson": round(
+            replay["packets_per_sec"] / poisson["packets_per_sec"], 3
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
 # checkpoint overhead
 # --------------------------------------------------------------------- #
 
@@ -287,6 +344,10 @@ def run_benches(quick: bool = False,
     say("nic ring (poll-mode burst drain)...")
     nic = bench_nic_ring(quick)
     say(f"  {nic['packets_per_sec']:,.0f} pkt/s")
+    say("trace replay (trace-driven drain vs poisson baseline)...")
+    replay = bench_trace_replay(quick)
+    say(f"  {replay['replayed']['packets_per_sec']:,.0f} pkt/s "
+        f"({replay['vs_poisson']:.2f}x of poisson)")
     say("checkpoint (snapshot capture / round-trip / verify)...")
     checkpoint = bench_checkpoint(quick)
     say(f"  capture {checkpoint['capture_ms']:.1f} ms, "
@@ -296,6 +357,7 @@ def run_benches(quick: bool = False,
         "event_churn": churn,
         "event_fire": fire,
         "nic_ring": nic,
+        "trace_replay": replay,
         "checkpoint": checkpoint,
     }
     if not skip_figures:

@@ -147,6 +147,32 @@ def _figures() -> Dict[str, FigureSpec]:
             row_fn=_fig12_rows,
         ),
         FigureSpec(
+            name="trace_phases",
+            scenario="trace_phase_tracking",
+            title="Trace replay — per-phase tracking: Metronome vs DPDK vs XDP",
+            headers=("system", "phase", "dur ms", "offered Mpps", "loss %",
+                     "mean us", "p99 us", "ts us @end"),
+            axes=("systems",),
+            grid=(("metronome", "dpdk", "xdp"),),
+            duration_base=100,
+            duration_floor=25,
+            note="benign phased trace: HTTP peak -> DNS burst -> SSH -> "
+                 "light UDP; ts = adaptive T_S at phase end",
+        ),
+        FigureSpec(
+            name="trace_adversary",
+            scenario="trace_adversary",
+            title="T_S-aware adversary vs rate-matched naive flood",
+            headers=("mode", "offered Mpps", "overlay Mpps", "loss %",
+                     "mean us", "p99 us", "strikes"),
+            axes=("modes",),
+            grid=(("aware", "naive"),),
+            duration_base=100,
+            duration_floor=25,
+            note="same average attack budget; 'aware' concentrates it in "
+                 "slugs sized to the published T_S",
+        ),
+        FigureSpec(
             name="fig13",
             scenario="fig13_power_governors",
             title="Figure 13 — power (W) vs rate under both governors",

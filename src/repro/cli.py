@@ -462,6 +462,41 @@ def _bench_cmd(args) -> int:
     return 1 if failures else 0
 
 
+def _traffic_cmd(args) -> int:
+    """``repro traffic``: generate/describe/validate traces
+    (docs/TRAFFIC.md)."""
+    from repro.sim.units import MS
+    from repro.traffic import SHIPPED_TRACES, Trace, TraceError, generate
+
+    if args.traffic_cmd == "generate":
+        if args.name not in SHIPPED_TRACES:
+            known = ", ".join(sorted(SHIPPED_TRACES))
+            print(f"unknown trace generator {args.name!r} (known: {known})")
+            return 2
+        spec = SHIPPED_TRACES[args.name](args.duration_ms * MS)
+        trace = generate(spec, args.seed)
+        out = args.out or f"{args.name}.trace.jsonl.gz"
+        trace.dump(out)
+        print(f"wrote {out}")
+        print(trace.describe())
+        return 0
+    try:
+        trace = Trace.load(args.path)
+    except FileNotFoundError:
+        print(f"no such file: {args.path}")
+        return 2
+    except TraceError as exc:
+        print(f"INVALID: {exc}")
+        return 2
+    if args.traffic_cmd == "describe":
+        print(trace.describe())
+        return 0
+    # validate: Trace.load already ran the schema checks
+    print(f"ok: {trace.packet_count:,} packets, "
+          f"{len(trace.phases)} phase(s), sha256 {trace.sha256()[:16]}")
+    return 0
+
+
 def _parse_shard(text: str):
     """``"i/N"`` -> ``(i, N)``; raises ValueError on nonsense."""
     i_s, _, n_s = text.partition("/")
@@ -810,6 +845,29 @@ def build_parser() -> argparse.ArgumentParser:
     cst = casub.add_parser(
         "status", help="show the last campaign summary and cache stats")
     cst.add_argument("--results-dir", default=None)
+    tf = sub.add_parser(
+        "traffic",
+        help="trace-driven traffic tools (docs/TRAFFIC.md)")
+    tfsub = tf.add_subparsers(dest="traffic_cmd", required=True)
+    tgen = tfsub.add_parser(
+        "generate",
+        help="materialize a shipped trace spec into a trace file")
+    tgen.add_argument("name",
+                      help="generator name (see `repro traffic generate "
+                           "--list` in docs/TRAFFIC.md: benign, http-flood, "
+                           "microburst-ddos, slow-drip, steady-background)")
+    tgen.add_argument("--out", default=None,
+                      help="output path; .gz compresses "
+                           "(default <name>.trace.jsonl.gz)")
+    tgen.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    tgen.add_argument("--duration-ms", type=int, default=100,
+                      help="trace length in milliseconds (default 100)")
+    tdesc = tfsub.add_parser(
+        "describe", help="summarize a trace file (phases, rates, sha256)")
+    tdesc.add_argument("path")
+    tval = tfsub.add_parser(
+        "validate", help="schema-validate a trace file; exit 2 when invalid")
+    tval.add_argument("path")
     be = sub.add_parser(
         "bench",
         help="performance microbenchmarks; emits BENCH_perf.json")
@@ -855,6 +913,8 @@ def main(argv: List[str] = None) -> int:
         return _check_cmd(args)
     if args.command == "campaign":
         return _campaign_cmd(args)
+    if args.command == "traffic":
+        return _traffic_cmd(args)
     if args.command == "bench":
         return _bench_cmd(args)
     if args.command == "lint":

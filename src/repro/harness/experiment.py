@@ -345,6 +345,7 @@ def run_xdp(
     cores: Optional[List[int]] = None,
     ring_size: Optional[int] = None,
     prewarmed: bool = True,
+    setup_hook: Optional[Callable[[Machine, "XdpDriver"], None]] = None,
     trace: bool = False,
     checks: bool = False,
     checkpoint_at_ns: Optional[int] = None,
@@ -353,8 +354,11 @@ def run_xdp(
     """Run the XDP baseline: ``num_queues`` queues, 1:1 queue-to-core.
 
     Traffic is split evenly across the queues (the paper's ethtool flow
-    steering).  ``prewarmed=False`` starts with a cold page pool, for
-    the burst-reactivity experiment.
+    steering).  ``rate_pps`` may also be a ready
+    :class:`ArrivalProcess` (e.g. trace replay), which requires
+    ``num_queues=1`` — a stateful process cannot be split.
+    ``prewarmed=False`` starts with a cold page pool, for the
+    burst-reactivity experiment.
     """
     from repro.xdp.driver import XdpDriver
 
@@ -364,8 +368,16 @@ def run_xdp(
         machine.enable_tracing()
     if checks:
         machine.enable_checks()
-    per_queue = int(rate_pps) // num_queues
-    processes = [CbrProcess(per_queue) for _ in range(num_queues)]
+    if isinstance(rate_pps, ArrivalProcess):
+        if num_queues != 1:
+            raise ValueError(
+                "an ArrivalProcess feeds exactly one queue; steer flows "
+                "with per-queue processes instead"
+            )
+        processes = [rate_pps]
+    else:
+        per_queue = int(rate_pps) // num_queues
+        processes = [CbrProcess(per_queue) for _ in range(num_queues)]
     port = NicPort(
         machine.sim,
         processes,
@@ -383,6 +395,8 @@ def run_xdp(
             q._warm_remaining = 0
             q._last_active_ns = 0
     driver.start()
+    if setup_hook is not None:
+        setup_hook(machine, driver)
     e0 = machine.energy_joules()
     ckpt = _run_with_checkpoint(
         machine, duration_ms * MS, checkpoint_at_ns, at_checkpoint, "xdp"

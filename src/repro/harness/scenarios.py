@@ -783,6 +783,210 @@ def chaos_suite(
 
 
 # ---------------------------------------------------------------------- #
+# Trace-driven figures (repro.traffic)
+# ---------------------------------------------------------------------- #
+
+
+class _PhaseProbe:
+    """Per-phase metric capture at trace phase boundaries.
+
+    Chains onto the system's Tx completion callbacks (the run-wide
+    stats keep accumulating untouched) and closes one row per phase at
+    its scaled end time: offered/delivered deltas, loss, the phase's
+    own latency distribution, and — for Metronome — the T_S the
+    controller had converged to by the phase end.
+    """
+
+    def __init__(self, system: str, phases):
+        self.system = system
+        self.phases = phases  # [(name, start_abs_ns, end_abs_ns)]
+        self.rows: List[Tuple] = []
+        self._stats = LatencyStats()
+        self._last_offered = 0
+        self._last_delivered = 0
+
+    def install(self, machine, offered_fn, delivered_fn, txbufs, ts_fn):
+        for tb in txbufs:
+            prev = tb.on_tx
+
+            def on_tx(pkt, prev=prev):
+                if prev is not None:
+                    prev(pkt)
+                self._stats.add(pkt.latency_ns)
+
+            tb.on_tx = on_tx
+        for name, s, e in self.phases:
+            machine.sim.call_at(
+                e, self._close, name, s, e, offered_fn, delivered_fn, ts_fn
+            )
+
+    def _close(self, name, s, e, offered_fn, delivered_fn, ts_fn):
+        offered = offered_fn()
+        delivered = delivered_fn()
+        d_off = offered - self._last_offered
+        d_del = delivered - self._last_delivered
+        self._last_offered, self._last_delivered = offered, delivered
+        stats, self._stats = self._stats, LatencyStats()
+        dur_ns = e - s
+        loss = max(0.0, 100.0 * (d_off - d_del) / d_off) if d_off else 0.0
+        self.rows.append((
+            self.system,
+            name,
+            round(dur_ns / MS, 3),
+            round(d_off / (dur_ns / SEC) / 1e6, 4),
+            round(loss, 4),
+            round(stats.mean() / 1e3, 3) if stats.count else 0.0,
+            round(stats.percentile(99) / 1e3, 3) if stats.count else 0.0,
+            round(ts_fn(), 3),
+        ))
+
+
+def trace_phase_tracking(
+    systems: Sequence[str] = ("metronome", "dpdk", "xdp"),
+    duration_ms: int = 100,
+    seed: int = config.DEFAULT_SEED,
+) -> List[Tuple]:
+    """Rows: (system, phase, dur ms, offered Mpps, loss %, mean us,
+    p99 us, ts_us at phase end).
+
+    The headline trace-replay figure (ROADMAP item 3): all three
+    systems replay the same benign phased trace — HTTP peak → DNS
+    burst → stable SSH → light UDP — and the per-phase rows show how
+    each one's service discipline tracks the abrupt load changes.  The
+    ``ts_us`` column is the adaptive controller's converged sleep at
+    each phase end (0 for the baselines, which have no controller).
+    """
+    from repro.traffic import TraceReplayProcess, benign_phased, generate
+
+    trace = generate(benign_phased(duration_ms * MS), seed)
+    rows: List[Tuple] = []
+    for system in systems:
+        process = TraceReplayProcess(trace)
+        probe = _PhaseProbe(system, process.phases_abs())
+        if system == "metronome":
+
+            def setup_met(machine: Machine, group, probe=probe) -> None:
+                queue = group.shared[0].queue
+
+                def offered() -> int:
+                    queue.sync()
+                    return queue.arrived_total
+
+                probe.install(
+                    machine, offered, lambda: group.total_packets,
+                    [sq.txbuf for sq in group.shared],
+                    lambda: group.tuner.ts_ns() / US,
+                )
+
+            run_metronome(process, duration_ms=duration_ms,
+                          cfg=config.SimConfig(seed=seed),
+                          setup_hook=setup_met)
+        elif system == "dpdk":
+
+            def setup_dpdk(machine: Machine, lcore, probe=probe) -> None:
+                queue = lcore.queues[0]
+
+                def offered() -> int:
+                    queue.sync()
+                    return queue.arrived_total
+
+                probe.install(
+                    machine, offered, lambda: lcore.rx_packets,
+                    lcore.tx_buffers, lambda: 0.0,
+                )
+
+            run_dpdk(process, duration_ms=duration_ms,
+                     cfg=config.SimConfig(seed=seed),
+                     setup_hook=setup_dpdk)
+        elif system == "xdp":
+
+            def setup_xdp(machine: Machine, driver, probe=probe) -> None:
+                def offered() -> int:
+                    for q in driver.queues:
+                        q.queue.sync()
+                    return sum(q.queue.arrived_total for q in driver.queues)
+
+                probe.install(
+                    machine, offered, lambda: driver.total_packets,
+                    [q.txbuf for q in driver.queues], lambda: 0.0,
+                )
+
+            run_xdp(process, duration_ms=duration_ms,
+                    cfg=config.SimConfig(seed=seed), num_queues=1,
+                    setup_hook=setup_xdp)
+        else:
+            raise ValueError(f"unknown system {system!r}")
+        rows.extend(probe.rows)
+    return rows
+
+
+def trace_adversary(
+    modes: Sequence[str] = ("aware", "naive"),
+    duration_ms: int = 100,
+    attack_mpps: float = 12.0,
+    duty: float = 0.1,
+    background_mpps: float = 0.1,
+    seed: int = config.DEFAULT_SEED,
+) -> List[Tuple]:
+    """Rows: (mode, offered Mpps, overlay Mpps, loss %, mean us, p99 us,
+    strikes).
+
+    The worst case for the paper's adaptation rule: a T_S-aware
+    adversary rides a steady background trace and lands
+    ``attack_mpps`` slugs sized to the *published* T_S, just after
+    sleeps are armed, at a ``duty`` duty cycle.  The ``naive`` control
+    arm spends the identical average packet budget
+    (``attack_mpps * duty``) as a uniform flood.  Loss and tail
+    latency between the two rows are the figure.
+    """
+    from repro.nic.traffic import FaultableProcess
+    from repro.traffic import (
+        TraceReplayProcess,
+        TsAwareAdversary,
+        constant_flood,
+        generate,
+        steady_background,
+    )
+
+    trace = generate(
+        steady_background(duration_ms * MS, int(background_mpps * 1e6)), seed
+    )
+    attack_pps = int(attack_mpps * 1e6)
+    rows: List[Tuple] = []
+    for mode in modes:
+        process = FaultableProcess(TraceReplayProcess(trace))
+        holder: Dict[str, TsAwareAdversary] = {}
+
+        def setup(machine: Machine, group, process=process, mode=mode,
+                  holder=holder) -> None:
+            if mode == "aware":
+                adv = TsAwareAdversary(machine, group, process,
+                                       attack_pps=attack_pps, duty=duty)
+                adv.start()
+                holder["adv"] = adv
+            elif mode == "naive":
+                constant_flood(process, int(attack_pps * duty))
+            else:
+                raise ValueError(f"unknown adversary mode {mode!r}")
+
+        res = run_metronome(process, duration_ms=duration_ms,
+                            cfg=config.SimConfig(seed=seed),
+                            setup_hook=setup)
+        adv = holder.get("adv")
+        seconds = duration_ms * MS / SEC
+        rows.append((
+            mode,
+            round(res.offered / seconds / 1e6, 4),
+            round(process.burst_packets / seconds / 1e6, 4),
+            round(res.loss_fraction * 100, 4),
+            round(res.latency.mean() / 1e3, 3),
+            round(res.latency.percentile(99) / 1e3, 3),
+            adv.strikes if adv is not None else 0,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------- #
 # Scenario registry
 # ---------------------------------------------------------------------- #
 
@@ -811,6 +1015,8 @@ SCENARIOS: Dict[str, Callable] = {
         fig15_apps,
         tuned_low_latency,
         chaos_suite,
+        trace_phase_tracking,
+        trace_adversary,
         check_oracle_point,
     )
 }

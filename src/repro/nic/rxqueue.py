@@ -96,7 +96,15 @@ class RxQueue:
             if offset < accepted:
                 # +1: arrivals are in (t0, t1]; position idx of n arrivals
                 ts = t0 + span * (offset + 1) // n
-                header = self.flows.header_for(seq)
+                # trace-driven sources dictate their own flow keys
+                # (RSS / FloWatcher fidelity); synthetic sources return
+                # None and fall back to the FlowSet hash
+                flow = self.process.flow_of(seq)
+                if flow is None:
+                    header = self.flows.header_for(seq)
+                else:
+                    header = self.flows.header_of_flow(
+                        flow % self.flows.num_flows)
                 self._tagged.append(
                     TaggedPacket(seq, ts, header,
                                  ring_seq=first_ring_seq + offset)
@@ -152,7 +160,7 @@ class RxQueue:
         ``process.last_t`` and the counters below have materialized
         exactly the same arrivals.
         """
-        return {
+        state = {
             "index": self.index,
             "process_last_t": self.process.last_t,
             "arrived_total": self.arrived_total,
@@ -165,6 +173,13 @@ class RxQueue:
                 "occupancy": self.ring.occupancy,
             },
         }
+        # processes carrying their own replay/overlay cursors contribute
+        # them; only added when defined so legacy captures keep their
+        # exact component layout
+        extra = getattr(self.process, "snapshot_state", None)
+        if extra is not None:
+            state["process"] = extra()
+        return state
 
     @property
     def drops(self) -> int:

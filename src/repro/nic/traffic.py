@@ -42,6 +42,35 @@ def mpps(million: float) -> int:
     return int(million * 1e6)
 
 
+#: the link speeds production NICs actually ship (ROADMAP item 2)
+STANDARD_LINK_RATES_GBPS = (10, 25, 40, 100)
+
+
+def serialization_ns(frame_len: int, gbps: float) -> float:
+    """Wire serialization time of one frame, in nanoseconds.
+
+    The :func:`gbps_to_pps` companion: counts the same 20B preamble+IPG
+    overhead, so ``SEC / serialization_ns`` equals the pps of a
+    saturated wire.  ``serialization_ns(1518, 10)`` ≈ 1230.4 ns — the
+    ~1.23 µs/frame figure of the 10G link-rate table — and 100G cuts it
+    to ~123 ns.
+    """
+    if frame_len <= 0:
+        raise ValueError("frame_len must be positive")
+    if gbps <= 0:
+        raise ValueError("gbps must be positive")
+    return (frame_len + 20) * 8 / gbps
+
+
+def link_rate_table(frame_len: int = 64) -> List[Tuple[float, int, float]]:
+    """``(gbps, line-rate pps, serialization ns)`` for the standard rates."""
+    return [
+        (float(gbps), gbps_to_pps(gbps, frame_len),
+         serialization_ns(frame_len, gbps))
+        for gbps in STANDARD_LINK_RATES_GBPS
+    ]
+
+
 class ArrivalProcess:
     """Interface: a monotonic counting process of packet arrivals."""
 
@@ -75,6 +104,15 @@ class ArrivalProcess:
         if rate <= 0:
             return self.next_arrival_after(t)
         return t + int(k * SEC / rate) + 1
+
+    def flow_of(self, seq: int) -> Optional[int]:
+        """Flow id of arrival ``seq``, when the source dictates one.
+
+        ``None`` (the default) lets the Rx queue fall back to its
+        :class:`~repro.nic.flows.FlowSet` hash; trace replay overrides
+        this so tagged packets carry the trace's own flow keys.
+        """
+        return None
 
 
 class CbrProcess(ArrivalProcess):
@@ -470,6 +508,39 @@ class FaultableProcess(ArrivalProcess):
         if self._paused:
             return 0.0
         return self.inner.rate_at(t) + float(self._burst_rate)
+
+    def flow_of(self, seq: int) -> Optional[int]:
+        """Delegates to the inner process.
+
+        Overlay packets share the inner sequence space, so under an
+        active burst the per-packet attribution is approximate — which
+        matches reality: injected attack packets carry whatever flow
+        keys the generator forged.
+        """
+        return self.inner.flow_of(seq)
+
+    def snapshot_state(self) -> dict:
+        """Wrapper counters + the inner process's own state (if any).
+
+        Only defined state is captured: inner processes without a
+        ``snapshot_state`` contribute their ``(total, last_t)`` sync
+        point, which the queue already pins.
+        """
+        inner_extra = getattr(self.inner, "snapshot_state", None)
+        return {
+            "kind": "faultable",
+            "total": self.total,
+            "last_t": self.last_t,
+            "paused": self._paused,
+            "held": self._held,
+            "burst_rate": self._burst_rate,
+            "overlay_t": self._overlay_t,
+            "overlay_acc": self._overlay_acc,
+            "overlay_total": self._overlay_total,
+            "burst_packets": self.burst_packets,
+            "held_peak": self.held_peak,
+            "inner": inner_extra() if inner_extra is not None else None,
+        }
 
 
 def triangle_ramp(

@@ -1,0 +1,131 @@
+"""The adaptive adversary: an attacker who knows the T_S rule.
+
+Metronome's controller (paper eq. 10/12) estimates utilization from
+renewal cycles and stretches the primary sleep T_S when load falls.
+An attacker who can observe — or simply predict — that published T_S
+trajectory has an obvious play:
+
+1. **stay quiet** long enough for the EWMA ρ to decay, so the group
+   arms *long* sleeps;
+2. **strike** with a concentrated slug sized to the current T_S, so the
+   burst lands while every thread is mid-sleep and must queue for the
+   better part of a full vacation;
+3. go quiet again before ρ recovers, and repeat.
+
+:class:`TsAwareAdversary` drives a
+:class:`~repro.nic.traffic.FaultableProcess` overlay with exactly that
+schedule, re-reading ``group.tuner.ts_ns()`` at every strike so the
+attack adapts as the controller does.  It is fully deterministic — the
+decisions are functions of sim time and published tuner state, no RNG —
+so adversary runs satisfy the same byte-identity contracts as every
+other scenario.
+
+The honest baseline is :func:`constant_flood`: the *same average
+packet budget* spread uniformly, which the staggered thread wakes
+absorb easily.  The gap between the two is the figure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nic.traffic import FaultableProcess
+from repro.sim.units import US
+
+
+class TsAwareAdversary:
+    """Quiet/strike pulses phase-locked to the published T_S trajectory.
+
+    ``attack_pps`` is the slug intensity; ``duty`` the long-run fraction
+    of time the slug is on (so the mean overlay rate is
+    ``attack_pps * duty``, the number a naive flood must be matched
+    to); ``strike_fraction`` sizes each slug relative to the T_S read
+    at strike time (> 1 guarantees the slug spans at least one full
+    armed sleep).
+    """
+
+    def __init__(
+        self,
+        machine,
+        group,
+        process: FaultableProcess,
+        attack_pps: int,
+        duty: float = 0.1,
+        strike_fraction: float = 1.5,
+        min_strike_ns: int = 20 * US,
+    ):
+        if attack_pps <= 0:
+            raise ValueError("attack_pps must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+        if strike_fraction <= 0:
+            raise ValueError("strike_fraction must be positive")
+        self.machine = machine
+        self.group = group
+        self.process = process
+        self.attack_pps = attack_pps
+        self.duty = duty
+        self.strike_fraction = strike_fraction
+        self.min_strike_ns = min_strike_ns
+        #: observation log: (strike time, T_S read, slug length)
+        self.strike_log: List[tuple] = []
+        self._started = False
+
+    @property
+    def strikes(self) -> int:
+        return len(self.strike_log)
+
+    def mean_overlay_pps(self) -> int:
+        """The rate a naive flood must run at to match this adversary."""
+        return int(self.attack_pps * self.duty)
+
+    # -- schedule --------------------------------------------------------- #
+
+    def _quiet_ns(self, strike_ns: int) -> int:
+        """Silence after a slug so the long-run duty cycle holds exactly."""
+        return max(1, int(strike_ns * (1.0 - self.duty) / self.duty))
+
+    def start(self) -> None:
+        """Arm the first strike (one settling period of quiet first)."""
+        if self._started:
+            raise RuntimeError("adversary already started")
+        self._started = True
+        first_strike = self._slug_ns()
+        self.machine.sim.call_after(self._quiet_ns(first_strike),
+                                    self._strike_on)
+
+    def _slug_ns(self) -> int:
+        ts = self.group.tuner.ts_ns()
+        return max(self.min_strike_ns, int(self.strike_fraction * ts))
+
+    def _strike_on(self) -> None:
+        now = self.machine.sim.now
+        ts = self.group.tuner.ts_ns()
+        slug = self._slug_ns()
+        self.strike_log.append((now, ts, slug))
+        self.process.checkpoint(now)
+        self.process.set_burst(self.attack_pps)
+        self.machine.sim.call_after(slug, self._strike_off, slug)
+
+    def _strike_off(self, slug: int) -> None:
+        now = self.machine.sim.now
+        self.process.checkpoint(now)
+        self.process.set_burst(0)
+        self.machine.sim.call_after(self._quiet_ns(slug), self._strike_on)
+
+
+def constant_flood(process: FaultableProcess, rate_pps: int,
+                   now: int = 0) -> None:
+    """The rate-matched naive baseline: a constant uniform overlay.
+
+    Same average packet budget as a :class:`TsAwareAdversary` with
+    ``rate_pps == adversary.mean_overlay_pps()``, but spread evenly —
+    the control arm of the adversary figure.
+    """
+    if rate_pps < 0:
+        raise ValueError("negative flood rate")
+    process.checkpoint(now)
+    process.set_burst(rate_pps)
+
+
+__all__ = ["TsAwareAdversary", "constant_flood"]

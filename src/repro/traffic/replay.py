@@ -1,0 +1,223 @@
+"""Timestamp-faithful trace replay as an :class:`ArrivalProcess`.
+
+:class:`TraceReplayProcess` turns a :class:`~repro.traffic.trace.Trace`
+into the lazy monotonic counter the NIC layer consumes, reproducing the
+DPDK PCAP sender v2 knob set (SNIPPETS.md §1):
+
+* ``speedup=`` divides every inter-packet gap (2.0 → twice as fast);
+* ``jitter=`` multiplies each gap by ``U(1-j, 1+j)`` drawn from a
+  dedicated ``traffic.jitter`` RNG stream, so adding jitter never
+  perturbs any other stochastic component;
+* ``loop=`` repeats the trace end-to-end with exact cycle arithmetic.
+
+The schedule is fixed at construction (one pass over the records), so
+``advance`` is a cursor walk, ``next_arrival_after`` is a binary
+search, and ``time_for_count`` is exact index arithmetic — same
+complexity class as the synthetic processes.  Because the schedule is
+immutable after construction, a replayed run re-derives it identically,
+which is what makes mid-trace :mod:`repro.sim.snapshot` checkpoints
+verify byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import List, Optional, Tuple
+
+from repro.nic.traffic import ArrivalProcess
+from repro.sim.units import SEC
+from repro.traffic.trace import Trace
+
+
+class TraceReplayProcess(ArrivalProcess):
+    """Replay a trace's packet schedule through the ArrivalProcess API."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        speedup: float = 1.0,
+        loop: bool = False,
+        jitter: float = 0.0,
+        jitter_rng: Optional[random.Random] = None,
+        start: int = 0,
+    ):
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if jitter > 0 and jitter_rng is None:
+            raise ValueError(
+                "jitter requires a dedicated RNG stream "
+                "(streams.stream('traffic.jitter'))"
+            )
+        trace.validate()
+        self.trace = trace
+        self.trace_sha = trace.sha256()
+        self.speedup = speedup
+        self.loop = loop
+        self.jitter = jitter
+        self.start = start
+        self.last_t = start
+        self.total = 0
+
+        # one construction-time pass fixes the whole schedule: scaled,
+        # jittered offsets relative to `start`, non-decreasing, >= 1 so
+        # the first packet is countable (arrivals live in (start, t])
+        times: List[int] = []
+        self._flows: List[int] = []
+        self._lens: List[int] = []
+        t_f = 0.0
+        prev_rec = 0
+        prev_out = 1
+        for t_ns, length, flow in trace.records:
+            gap = (t_ns - prev_rec) / speedup
+            if jitter > 0:
+                gap *= 1.0 + jitter * (2.0 * jitter_rng.random() - 1.0)
+            t_f += gap
+            prev_rec = t_ns
+            prev_out = max(prev_out, int(t_f))
+            times.append(prev_out)
+            self._flows.append(flow)
+            self._lens.append(length)
+        self._times = times
+        self._n = len(times)
+        scaled_dur = int(trace.duration_ns / speedup)
+        self._cycle = max(scaled_dur, (times[-1] + 1) if times else 1)
+        self._phase_windows = self._build_phase_windows()
+
+    # -- phase bookkeeping ------------------------------------------------ #
+
+    def _build_phase_windows(self) -> List[Tuple[int, int, float]]:
+        """Scaled ``(start, end, nominal_pps)`` windows for rate_at()."""
+        windows: List[Tuple[int, int, float]] = []
+        if self.trace.phases:
+            for phase, lo, hi in self.trace.phase_slices():
+                s = int(phase.start_ns / self.speedup)
+                e = max(s + 1, int(phase.end_ns / self.speedup))
+                pps = (hi - lo) * SEC / (e - s)
+                windows.append((s, e, pps))
+        elif self._n:
+            windows.append((0, self._cycle, self._n * SEC / self._cycle))
+        return windows
+
+    def phases_abs(self) -> List[Tuple[str, int, int]]:
+        """Scaled phase windows in absolute sim time (first pass only).
+
+        ``(name, start_ns, end_ns)`` per phase — the hook figures use to
+        place phase-boundary probes and mark transitions.
+        """
+        out: List[Tuple[str, int, int]] = []
+        for phase in self.trace.phases:
+            s = self.start + int(phase.start_ns / self.speedup)
+            e = self.start + max(s - self.start + 1,
+                                 int(phase.end_ns / self.speedup))
+            out.append((phase.name, s, e))
+        return out
+
+    def phase_boundaries(self) -> List[Tuple[int, str]]:
+        """Absolute ``(t_ns, phase name)`` transition marks."""
+        return [(s, name) for name, s, _e in self.phases_abs()]
+
+    # -- counting --------------------------------------------------------- #
+
+    def _count_at(self, t: int) -> int:
+        rel = t - self.start
+        if rel <= 0 or self._n == 0:
+            return 0
+        if not self.loop:
+            return bisect_right(self._times, rel)
+        cycles, rem = divmod(rel, self._cycle)
+        return cycles * self._n + bisect_right(self._times, rem)
+
+    def advance(self, t1: int) -> int:
+        if t1 < self.last_t:
+            raise ValueError(f"advance moving backwards: {t1} < {self.last_t}")
+        n = self._count_at(t1) - self.total
+        self.total += n
+        self.last_t = t1
+        return n
+
+    def next_arrival_after(self, t: int) -> Optional[int]:
+        if self._n == 0:
+            return None
+        rel = t - self.start
+        if rel < 0:
+            return self.start + self._times[0]
+        if not self.loop:
+            idx = bisect_right(self._times, rel)
+            if idx >= self._n:
+                return None
+            return self.start + self._times[idx]
+        cycles, rem = divmod(rel, self._cycle)
+        idx = bisect_right(self._times, rem)
+        if idx < self._n:
+            return self.start + cycles * self._cycle + self._times[idx]
+        return self.start + (cycles + 1) * self._cycle + self._times[0]
+
+    def rate_at(self, t: int) -> float:
+        if self._n == 0:
+            return 0.0
+        rel = t - self.start
+        if self.loop:
+            rel %= self._cycle
+        for s, e, pps in self._phase_windows:
+            if s <= rel < e:
+                return pps
+        return 0.0
+
+    def time_for_count(self, t: int, k: int) -> Optional[int]:
+        """Exact: the arrival time of the k-th packet after ``t``."""
+        if k <= 0:
+            return t
+        if self._n == 0:
+            return None
+        idx = self._count_at(t) + k - 1
+        if not self.loop:
+            if idx >= self._n:
+                return None
+            return self.start + self._times[idx]
+        cycles, j = divmod(idx, self._n)
+        return self.start + cycles * self._cycle + self._times[j]
+
+    # -- flow plumbing ---------------------------------------------------- #
+
+    def flow_of(self, seq: int) -> Optional[int]:
+        """The trace-supplied flow id of arrival ``seq`` (None past end)."""
+        if self._n == 0:
+            return None
+        if self.loop:
+            return self._flows[seq % self._n]
+        if seq >= self._n:
+            return None
+        return self._flows[seq]
+
+    def len_of(self, seq: int) -> Optional[int]:
+        """The trace-supplied frame length of arrival ``seq``."""
+        if self._n == 0:
+            return None
+        if self.loop:
+            return self._lens[seq % self._n]
+        if seq >= self._n:
+            return None
+        return self._lens[seq]
+
+    # -- checkpointing ---------------------------------------------------- #
+
+    def snapshot_state(self) -> dict:
+        """Exact replay-cursor state for :mod:`repro.sim.snapshot`.
+
+        The schedule itself is pinned by the trace content digest plus
+        the replay knobs; the dynamic state is just the two counters.
+        """
+        return {
+            "kind": "trace-replay",
+            "trace_sha": self.trace_sha[:16],
+            "n": self._n,
+            "speedup": self.speedup,
+            "loop": self.loop,
+            "jitter": self.jitter,
+            "start": self.start,
+            "total": self.total,
+            "last_t": self.last_t,
+        }

@@ -1,0 +1,288 @@
+"""The compact, versioned packet-trace format.
+
+A trace is the unit of exchange for trace-driven replay (ROADMAP item
+3): a header describing named temporal *phases* plus one record per
+packet — ``(t_ns, len, flow)`` — with nanosecond arrival offsets
+relative to the trace start.  The on-disk form is JSONL: a single
+header object followed by one compact ``[t_ns, len, flow]`` array per
+record, optionally gzip-compressed (any path ending in ``.gz``).
+
+Design contract:
+
+* **versioned** — the header carries ``format``/``version``; loaders
+  reject anything they do not understand rather than guessing;
+* **deterministic identity** — :meth:`Trace.sha256` hashes the
+  canonical serialization, so generators can be audited as pure
+  functions of (spec, seed) and caches can key on content;
+* **validated** — :meth:`Trace.validate` enforces monotonic arrival
+  times, sane frame lengths, and ordered, non-overlapping phases, so
+  every consumer (replay, figures, CLI) can assume a well-formed trace.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.units import SEC
+
+#: on-disk format name; loaders reject anything else
+TRACE_FORMAT = "repro-trace"
+#: bump when the header or record layout changes
+TRACE_VERSION = 1
+#: largest acceptable frame (jumbo); guards against corrupt records
+MAX_FRAME_LEN = 9216
+
+#: one packet record: (arrival offset ns, frame length, flow id)
+Record = Tuple[int, int, int]
+
+
+class TraceError(ValueError):
+    """A trace failed schema validation or could not be parsed."""
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One named temporal phase: ``[start_ns, end_ns)`` within the trace."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "start_ns": self.start_ns,
+                "end_ns": self.end_ns}
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Phase":
+        return cls(name=d["name"], start_ns=int(d["start_ns"]),
+                   end_ns=int(d["end_ns"]))
+
+
+class Trace:
+    """An ordered packet trace with named phases and JSON metadata."""
+
+    def __init__(
+        self,
+        phases: Sequence[Phase] = (),
+        records: Sequence[Record] = (),
+        meta: Optional[Dict] = None,
+    ):
+        self.phases: List[Phase] = list(phases)
+        self.records: List[Record] = [
+            (int(t), int(length), int(flow)) for t, length, flow in records
+        ]
+        self.meta: Dict = dict(meta or {})
+
+    # -- derived ---------------------------------------------------------- #
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def byte_count(self) -> int:
+        return sum(r[1] for r in self.records)
+
+    @property
+    def duration_ns(self) -> int:
+        """Trace length: the later of the last record and last phase end."""
+        last_rec = self.records[-1][0] if self.records else 0
+        last_phase = self.phases[-1].end_ns if self.phases else 0
+        return max(last_rec, last_phase)
+
+    def mean_rate_pps(self) -> float:
+        dur = self.duration_ns
+        if dur <= 0:
+            return 0.0
+        return len(self.records) * SEC / dur
+
+    def phase_slices(self) -> List[Tuple[Phase, int, int]]:
+        """Each phase with its ``[first, last)`` record index range.
+
+        Records exactly at a phase's ``end_ns`` belong to the next
+        phase; the final phase's end is inclusive (it is the trace end).
+        """
+        times = [r[0] for r in self.records]
+        out: List[Tuple[Phase, int, int]] = []
+        for i, phase in enumerate(self.phases):
+            lo = bisect_left(times, phase.start_ns)
+            if i == len(self.phases) - 1:
+                hi = len(times)
+            else:
+                hi = bisect_left(times, phase.end_ns)
+            out.append((phase, lo, hi))
+        return out
+
+    # -- validation ------------------------------------------------------- #
+
+    def validate(self) -> None:
+        """Raise :exc:`TraceError` unless the trace is well-formed."""
+        prev_t = 0
+        for i, (t, length, flow) in enumerate(self.records):
+            if t < 0:
+                raise TraceError(f"record {i}: negative arrival time {t}")
+            if t < prev_t:
+                raise TraceError(
+                    f"record {i}: arrival time {t} before previous {prev_t}"
+                )
+            if not 1 <= length <= MAX_FRAME_LEN:
+                raise TraceError(f"record {i}: frame length {length} "
+                                 f"outside [1, {MAX_FRAME_LEN}]")
+            if flow < 0:
+                raise TraceError(f"record {i}: negative flow id {flow}")
+            prev_t = t
+        prev_end = 0
+        for i, phase in enumerate(self.phases):
+            if not phase.name:
+                raise TraceError(f"phase {i}: empty name")
+            if phase.end_ns <= phase.start_ns:
+                raise TraceError(
+                    f"phase {phase.name!r}: end {phase.end_ns} <= "
+                    f"start {phase.start_ns}"
+                )
+            if phase.start_ns < prev_end:
+                raise TraceError(
+                    f"phase {phase.name!r}: starts at {phase.start_ns}, "
+                    f"overlapping the previous phase (ends {prev_end})"
+                )
+            prev_end = phase.end_ns
+        if self.phases and self.records:
+            if self.records[-1][0] > self.phases[-1].end_ns:
+                raise TraceError(
+                    f"last record at {self.records[-1][0]} lies past the "
+                    f"final phase end {self.phases[-1].end_ns}"
+                )
+
+    # -- identity --------------------------------------------------------- #
+
+    def sha256(self) -> str:
+        """Content digest of the canonical serialization."""
+        return hashlib.sha256(self.dumps().encode()).hexdigest()
+
+    # -- serialization ---------------------------------------------------- #
+
+    def _header(self) -> Dict:
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "count": len(self.records),
+            "duration_ns": self.duration_ns,
+            "phases": [p.to_dict() for p in self.phases],
+            "meta": self.meta,
+        }
+
+    def dumps(self) -> str:
+        """Canonical JSONL text: header line, then one record per line."""
+        out = io.StringIO()
+        json.dump(self._header(), out, sort_keys=True,
+                  separators=(",", ":"))
+        out.write("\n")
+        for t, length, flow in self.records:
+            out.write(f"[{t},{length},{flow}]\n")
+        return out.getvalue()
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        lines = text.splitlines()
+        if not lines:
+            raise TraceError("empty trace file")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"unparseable trace header: {exc}") from exc
+        if not isinstance(header, dict):
+            raise TraceError("trace header is not a JSON object")
+        fmt = header.get("format")
+        if fmt != TRACE_FORMAT:
+            raise TraceError(f"not a {TRACE_FORMAT} file (format={fmt!r})")
+        version = header.get("version")
+        if version != TRACE_VERSION:
+            raise TraceError(
+                f"unsupported trace version {version!r} "
+                f"(this build reads version {TRACE_VERSION})"
+            )
+        records: List[Record] = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"line {lineno}: bad record: {exc}") from exc
+            if not (isinstance(rec, list) and len(rec) == 3):
+                raise TraceError(f"line {lineno}: record is not [t,len,flow]")
+            records.append((int(rec[0]), int(rec[1]), int(rec[2])))
+        count = header.get("count")
+        if count is not None and count != len(records):
+            raise TraceError(
+                f"header count {count} != {len(records)} records (truncated?)"
+            )
+        trace = cls(
+            phases=[Phase.from_dict(p) for p in header.get("phases", [])],
+            records=records,
+            meta=header.get("meta", {}),
+        )
+        trace.validate()
+        return trace
+
+    def dump(self, path: str) -> None:
+        """Write the trace to ``path`` (gzip when it ends in ``.gz``)."""
+        data = self.dumps().encode()
+        if path.endswith(".gz"):
+            # mtime=0 and an empty embedded filename keep the gzip
+            # bytes a pure function of the trace content
+            with open(path, "wb") as fh:
+                with gzip.GzipFile(filename="", mode="wb", fileobj=fh,
+                                   mtime=0) as gz:
+                    gz.write(data)
+        else:
+            with open(path, "wb") as fh:
+                fh.write(data)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        if path.endswith(".gz"):
+            with gzip.open(path, "rb") as fh:
+                data = fh.read()
+        else:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        return cls.loads(data.decode())
+
+    # -- reporting -------------------------------------------------------- #
+
+    def describe(self) -> str:
+        """Human-readable summary (the ``repro traffic describe`` body)."""
+        lines = [
+            f"format: {TRACE_FORMAT} v{TRACE_VERSION}",
+            f"packets: {len(self.records):,}  "
+            f"bytes: {self.byte_count:,}  "
+            f"duration: {self.duration_ns / 1e6:.3f} ms  "
+            f"mean rate: {self.mean_rate_pps() / 1e6:.3f} Mpps",
+            f"sha256: {self.sha256()}",
+        ]
+        if self.meta:
+            meta = json.dumps(self.meta, sort_keys=True)
+            lines.append(f"meta: {meta}")
+        if self.phases:
+            lines.append("phases:")
+            for phase, lo, hi in self.phase_slices():
+                n = hi - lo
+                dur = phase.duration_ns
+                rate = n * SEC / dur / 1e6 if dur else 0.0
+                lines.append(
+                    f"  {phase.name:<16} "
+                    f"[{phase.start_ns / 1e6:9.3f}, {phase.end_ns / 1e6:9.3f}) ms  "
+                    f"{n:>9,} pkts  {rate:7.3f} Mpps"
+                )
+        return "\n".join(lines)

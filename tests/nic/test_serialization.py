@@ -1,0 +1,54 @@
+"""Tests for the link-rate serialization table (10/25/40/100G)."""
+
+import pytest
+
+from repro.nic.traffic import (
+    STANDARD_LINK_RATES_GBPS,
+    gbps_to_pps,
+    link_rate_table,
+    serialization_ns,
+)
+from repro.sim.units import SEC
+
+
+def test_known_values():
+    # the classic 10G numbers: 1.23 us per 1518B frame, 67.2 ns per 64B
+    assert serialization_ns(1518, 10) == pytest.approx(1230.4)
+    assert serialization_ns(64, 10) == pytest.approx(67.2)
+    # 100G cuts the big-frame time to ~123 ns
+    assert serialization_ns(1518, 100) == pytest.approx(123.04)
+
+
+def test_consistent_with_gbps_to_pps():
+    for gbps in STANDARD_LINK_RATES_GBPS:
+        for frame_len in (64, 512, 1518):
+            pps = SEC / serialization_ns(frame_len, gbps)
+            assert int(pps) == gbps_to_pps(gbps, frame_len)
+
+
+def test_line_rate_anchor():
+    # the paper's 14.88 Mpps at 10G / 64B drops straight out
+    assert gbps_to_pps(10, 64) == 14_880_952
+    assert SEC / serialization_ns(64, 10) == pytest.approx(14_880_952.4)
+
+
+def test_table_shape_and_monotonicity():
+    table = link_rate_table(64)
+    assert [row[0] for row in table] == [10.0, 25.0, 40.0, 100.0]
+    for gbps, pps, ser in table:
+        assert pps == gbps_to_pps(gbps, 64)
+        assert ser == serialization_ns(64, gbps)
+    # faster links: more pps, shorter serialization
+    ppses = [row[1] for row in table]
+    sers = [row[2] for row in table]
+    assert ppses == sorted(ppses)
+    assert sers == sorted(sers, reverse=True)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="frame_len"):
+        serialization_ns(0, 10)
+    with pytest.raises(ValueError, match="gbps"):
+        serialization_ns(64, 0)
+    with pytest.raises(ValueError, match="gbps"):
+        serialization_ns(64, -25)

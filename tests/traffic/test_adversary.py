@@ -1,0 +1,110 @@
+"""Tests for the T_S-aware adversary and its figure scenario."""
+
+import pytest
+
+from repro import config
+from repro.harness.experiment import run_metronome
+from repro.harness.scenarios import trace_adversary
+from repro.nic.traffic import FaultableProcess
+from repro.sim.units import MS
+from repro.traffic import (
+    TraceReplayProcess,
+    TsAwareAdversary,
+    constant_flood,
+    generate,
+    steady_background,
+)
+
+
+def run_scenario():
+    return trace_adversary(duration_ms=25, seed=config.DEFAULT_SEED)
+
+
+def test_scenario_is_deterministic():
+    assert run_scenario() == run_scenario()
+
+
+def test_aware_beats_naive_at_the_same_budget():
+    rows = {r[0]: r for r in run_scenario()}
+    aware, naive = rows["aware"], rows["naive"]
+    # same average attack budget ...
+    assert aware[2] == pytest.approx(naive[2], rel=0.15)
+    # ... but the concentrated slugs hurt: a clear tail-latency gap
+    aware_p99, naive_p99 = aware[5], naive[5]
+    assert aware_p99 > 2 * naive_p99
+    # the aware arm struck repeatedly; the flood never "strikes"
+    assert aware[6] > 5
+    assert naive[6] == 0
+
+
+def test_adversary_run_is_monitor_clean():
+    trace = generate(steady_background(10 * MS, 100_000), 7)
+    process = FaultableProcess(TraceReplayProcess(trace))
+
+    def setup(machine, group):
+        TsAwareAdversary(machine, group, process,
+                         attack_pps=12_000_000, duty=0.1).start()
+
+    res = run_metronome(process, duration_ms=10,
+                        cfg=config.SimConfig(seed=7),
+                        setup_hook=setup, checks=True)
+    assert res.machine.checks.violations == []
+
+
+def test_strike_log_reads_published_ts():
+    trace = generate(steady_background(10 * MS, 100_000), 7)
+    process = FaultableProcess(TraceReplayProcess(trace))
+    holder = {}
+
+    def setup(machine, group):
+        adv = TsAwareAdversary(machine, group, process,
+                               attack_pps=12_000_000, duty=0.1)
+        adv.start()
+        holder["adv"] = adv
+
+    run_metronome(process, duration_ms=10,
+                  cfg=config.SimConfig(seed=7), setup_hook=setup)
+    adv = holder["adv"]
+    assert adv.strikes == len(adv.strike_log) > 0
+    for now, ts, slug in adv.strike_log:
+        assert ts > 0
+        # each slug spans at least strike_fraction of the T_S it read
+        assert slug >= max(adv.min_strike_ns,
+                           int(adv.strike_fraction * ts))
+
+
+def test_adversary_validation():
+    trace = generate(steady_background(1 * MS, 100_000), 1)
+    process = FaultableProcess(TraceReplayProcess(trace))
+    with pytest.raises(ValueError, match="attack_pps"):
+        TsAwareAdversary(None, None, process, attack_pps=0)
+    with pytest.raises(ValueError, match="duty"):
+        TsAwareAdversary(None, None, process, attack_pps=1, duty=1.0)
+    with pytest.raises(ValueError, match="strike_fraction"):
+        TsAwareAdversary(None, None, process, attack_pps=1,
+                         strike_fraction=0)
+    with pytest.raises(ValueError, match="negative"):
+        constant_flood(process, -1)
+
+
+def test_mean_overlay_matches_duty():
+    trace = generate(steady_background(1 * MS, 100_000), 1)
+    process = FaultableProcess(TraceReplayProcess(trace))
+    adv = TsAwareAdversary(None, None, process,
+                           attack_pps=10_000_000, duty=0.05)
+    assert adv.mean_overlay_pps() == 500_000
+
+
+def test_start_twice_rejected():
+    trace = generate(steady_background(10 * MS, 100_000), 7)
+    process = FaultableProcess(TraceReplayProcess(trace))
+
+    def setup(machine, group):
+        adv = TsAwareAdversary(machine, group, process,
+                               attack_pps=1_000_000, duty=0.1)
+        adv.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            adv.start()
+
+    run_metronome(process, duration_ms=1,
+                  cfg=config.SimConfig(seed=7), setup_hook=setup)

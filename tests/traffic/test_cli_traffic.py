@@ -1,0 +1,58 @@
+"""Tests for the ``repro traffic`` CLI: generate/describe/validate."""
+
+from repro.cli import main
+from repro.traffic import Trace
+
+
+def test_generate_describe_validate_round_trip(tmp_path, capsys):
+    out = str(tmp_path / "benign.trace.jsonl.gz")
+    assert main(["traffic", "generate", "benign",
+                 "--duration-ms", "5", "--out", out]) == 0
+    gen_out = capsys.readouterr().out
+    assert f"wrote {out}" in gen_out
+    sha = Trace.load(out).sha256()
+    assert sha in gen_out
+
+    assert main(["traffic", "describe", out]) == 0
+    desc = capsys.readouterr().out
+    assert sha in desc
+    assert "http_peak" in desc
+
+    assert main(["traffic", "validate", out]) == 0
+    assert f"sha256 {sha[:16]}" in capsys.readouterr().out
+
+
+def test_generate_is_bit_stable(tmp_path):
+    a, b = str(tmp_path / "a.gz"), str(tmp_path / "b.gz")
+    for out in (a, b):
+        assert main(["traffic", "generate", "slow-drip",
+                     "--duration-ms", "2", "--out", out]) == 0
+    assert open(a, "rb").read() == open(b, "rb").read()
+
+
+def test_generate_seed_changes_content(tmp_path):
+    a, b = str(tmp_path / "a.gz"), str(tmp_path / "b.gz")
+    assert main(["traffic", "generate", "slow-drip", "--duration-ms", "2",
+                 "--seed", "1", "--out", a]) == 0
+    assert main(["traffic", "generate", "slow-drip", "--duration-ms", "2",
+                 "--seed", "2", "--out", b]) == 0
+    assert Trace.load(a).sha256() != Trace.load(b).sha256()
+
+
+def test_generate_unknown_name_exits_2(capsys):
+    assert main(["traffic", "generate", "nope"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown trace generator" in out
+    assert "benign" in out  # lists the known catalogue
+
+
+def test_validate_missing_file_exits_2(tmp_path, capsys):
+    assert main(["traffic", "validate", str(tmp_path / "absent.jsonl")]) == 2
+    assert "no such file" in capsys.readouterr().out
+
+
+def test_validate_garbage_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"format":"nonsense"}\n')
+    assert main(["traffic", "validate", str(bad)]) == 2
+    assert "INVALID" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Tests for the seeded trace generators: purity, specs, catalogue."""
+
+import pytest
+
+from repro.sim.units import MS, SEC
+from repro.traffic import (
+    SHIPPED_TRACES,
+    PhaseSpec,
+    TraceSpec,
+    benign_phased,
+    generate,
+    microburst_ddos,
+    steady_background,
+)
+
+
+def test_generation_is_pure_in_spec_and_seed():
+    spec = benign_phased(5 * MS)
+    assert generate(spec, 7).sha256() == generate(spec, 7).sha256()
+
+
+def test_seed_sensitivity():
+    spec = benign_phased(5 * MS)
+    assert generate(spec, 7).sha256() != generate(spec, 8).sha256()
+
+
+def test_spec_json_round_trip():
+    spec = benign_phased(10 * MS)
+    assert TraceSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_phase_spec_validation():
+    with pytest.raises(ValueError, match="duration"):
+        PhaseSpec("p", 0, 1000)
+    with pytest.raises(ValueError, match="negative rate"):
+        PhaseSpec("p", 100, -1)
+    with pytest.raises(ValueError, match="unknown arrival"):
+        PhaseSpec("p", 100, 1000, arrival="weibull")
+    with pytest.raises(ValueError, match="flows"):
+        PhaseSpec("p", 100, 1000, flows=0)
+    with pytest.raises(ValueError, match="go together"):
+        PhaseSpec("p", 100, 1000, burst_ns=10)
+    with pytest.raises(ValueError, match="needs a name"):
+        TraceSpec("", (PhaseSpec("p", 100, 1000),))
+    with pytest.raises(ValueError, match="no phases"):
+        TraceSpec("empty")
+
+
+@pytest.mark.parametrize("name", sorted(SHIPPED_TRACES))
+def test_every_shipped_generator_produces_a_valid_trace(name):
+    spec = SHIPPED_TRACES[name](4 * MS)
+    trace = generate(spec, 2020)
+    trace.validate()  # raises on any malformation
+    assert trace.packet_count > 0
+    assert trace.meta["generator"] == spec.name
+    assert trace.meta["seed"] == 2020
+    # phases tile the requested duration exactly, no gaps
+    assert trace.phases[0].start_ns == 0
+    assert trace.phases[-1].end_ns == spec.duration_ns == 4 * MS
+    for prev, cur in zip(trace.phases, trace.phases[1:]):
+        assert cur.start_ns == prev.end_ns
+
+
+def test_cbr_phase_rate_is_exact():
+    spec = TraceSpec("cbr-only", (
+        PhaseSpec("s", 2 * MS, 1_000_000, arrival="cbr"),
+    ))
+    trace = generate(spec, 1)
+    assert trace.packet_count == 2 * MS * 1_000_000 // SEC  # 2000
+
+
+def test_poisson_phase_rate_is_approximate():
+    trace = generate(steady_background(5 * MS, rate_pps=1_000_000), 3)
+    expected = 5 * MS * 1_000_000 / SEC
+    assert abs(trace.packet_count - expected) / expected < 0.1
+
+
+def test_microburst_duty_cycle():
+    trace = generate(microburst_ddos(10 * MS, burst_pps=12_000_000), 5)
+    # 50 us bursts every 1 ms => ~5% duty => mean ~0.6 Mpps
+    mean = trace.mean_rate_pps()
+    assert 0.3e6 < mean < 0.9e6
+    # and the slugs really are slugs: silence dominates the timeline
+    gaps = [b[0] - a[0] for a, b in zip(trace.records, trace.records[1:])]
+    assert max(gaps) > 900_000  # at least one inter-slug gap
+
+
+def test_benign_phase_mix_rates():
+    trace = generate(benign_phased(20 * MS), 2020)
+    by_name = {p.name: (hi - lo, p.duration_ns)
+               for p, lo, hi in trace.phase_slices()}
+    rates = {name: n * SEC / dur for name, (n, dur) in by_name.items()}
+    assert rates["dns_burst"] == pytest.approx(6e6, rel=0.1)
+    assert rates["ssh_steady"] == pytest.approx(8e5, rel=0.05)
+    assert rates["udp_light"] == pytest.approx(2e5, rel=0.2)
+
+
+def test_scale_knob():
+    full = generate(benign_phased(5 * MS, scale=1.0), 1)
+    half = generate(benign_phased(5 * MS, scale=0.5), 1)
+    ratio = half.packet_count / full.packet_count
+    assert 0.4 < ratio < 0.6
