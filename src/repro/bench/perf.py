@@ -306,6 +306,41 @@ def bench_checkpoint(quick: bool) -> Dict[str, object]:
 
 
 # --------------------------------------------------------------------- #
+# many-queue scale-out cost
+# --------------------------------------------------------------------- #
+
+
+def bench_scale(quick: bool) -> Dict[str, float]:
+    """Wall-clock cost of the 64-queue / 32-thread 100G machine.
+
+    The ISSUE-9 scale-out configuration: one port, 64 RSS queues on 2
+    NUMA nodes, 32 Metronome threads.  Reports simulator events/sec and
+    packets/sec at that scale so the cost of the many-queue machine is
+    visible PR-over-PR.  Never gated: the absolute rates are
+    machine-dependent trajectory data.
+    """
+    from repro.harness.scale import run_metronome_scaled
+
+    duration_ms = 2 if quick else 6
+    t0 = time.perf_counter()
+    res = run_metronome_scaled(64, 32, gbps=100.0,
+                               duration_ms=duration_ms, numa_nodes=2,
+                               seed=2020)
+    wall = time.perf_counter() - t0
+    events = res.machine.sim.events_scheduled
+    return {
+        "num_queues": 64,
+        "num_threads": 32,
+        "duration_ms": duration_ms,
+        "events": events,
+        "events_per_sec": round(events / wall, 1),
+        "packets": res.delivered,
+        "loss_pct": round(res.loss_fraction * 100, 3),
+        "wall_s": round(wall, 3),
+    }
+
+
+# --------------------------------------------------------------------- #
 # whole-figure wall clock
 # --------------------------------------------------------------------- #
 
@@ -353,12 +388,17 @@ def run_benches(quick: bool = False,
     say(f"  capture {checkpoint['capture_ms']:.1f} ms, "
         f"{checkpoint['state_kb']:.0f} KB, "
         f"verify {checkpoint['verify_ms']:.1f} ms")
+    say("scale (64 queues / 32 threads at 100G)...")
+    scale = bench_scale(quick)
+    say(f"  {scale['events_per_sec']:,.0f} ev/s, "
+        f"wall {scale['wall_s']:.1f} s")
     benches: Dict[str, object] = {
         "event_churn": churn,
         "event_fire": fire,
         "nic_ring": nic,
         "trace_replay": replay,
         "checkpoint": checkpoint,
+        "scale": scale,
     }
     if not skip_figures:
         say(f"figures {', '.join(BENCH_FIGURES)} wall-clock...")

@@ -173,6 +173,33 @@ def _figures() -> Dict[str, FigureSpec]:
                  "slugs sized to the published T_S",
         ),
         FigureSpec(
+            name="scale_queue_count",
+            scenario="scale_queue_count",
+            title="Scale-out — loss/latency/CPU vs queue count (100G, 64B)",
+            headers=("queues", "threads", "loss %", "mean us", "p99 us",
+                     "cpu", "ts us", "V̄ err %"),
+            axes=("num_queues_values",),
+            grid=((2, 4, 8, 16, 32, 64),),
+            duration_base=24,
+            duration_floor=6,
+            note="aggregate 100G split across queues; threads = queues/2 "
+                 "(floor 3, cap 48) on 2 NUMA nodes; V̄ err = measured "
+                 "vacation vs eq.-7 target (-1 = no cycles)",
+        ),
+        FigureSpec(
+            name="scale_thread_ratio",
+            scenario="scale_thread_ratio",
+            title="Scale-out — thread:queue ratio at 100G (16 queues)",
+            headers=("ratio", "threads", "loss %", "mean us", "p99 us",
+                     "cpu", "busy-try frac", "V̄ err %"),
+            axes=("ratios",),
+            grid=((0.5, 1.0, 2.0, 3.0),),
+            duration_base=24,
+            duration_floor=6,
+            note="16 queues, 2 NUMA nodes; busy-try fraction is the §3.2 "
+                 "trylock-diversity metric",
+        ),
+        FigureSpec(
             name="fig13",
             scenario="fig13_power_governors",
             title="Figure 13 — power (W) vs rate under both governors",

@@ -195,6 +195,34 @@ XDP_COLD_IDLE_NS = 5 * MS
 NAPI_BUDGET = 64
 
 # --------------------------------------------------------------------- #
+# NUMA / multi-socket topology (scale-out model, docs/SCALE.md)
+# --------------------------------------------------------------------- #
+# The paper's testbed is one isolated NUMA node, so every penalty below
+# is *structurally inert* at the default ``numa_nodes=1``: no core is
+# ever remote from the timer fabric or from a queue's DMA memory, and
+# the sleep/wake and drain paths add exactly 0 ns.  Multi-socket
+# configurations (the 100G scale-out figures) pay them.
+
+#: Extra timer-IRQ delivery latency for a core on a socket remote from
+#: the I/O node (IPI forwarding across UPI/QPI plus the remote LAPIC
+#: write).  ~1-2 us is the commonly measured cross-socket wakeup gap on
+#: two-socket Skylake-SP class servers.
+CROSS_SOCKET_WAKE_NS = 1_800
+
+#: Per-``rx_burst`` surcharge when the serving core is remote from the
+#: queue's descriptor ring / DMA buffers (remote-DRAM descriptor reads
+#: and the doorbell write crossing the interconnect).
+NUMA_REMOTE_BURST_NS = 160
+
+#: Per-packet surcharge for touching remote packet payload (one or two
+#: remote cache-line fills above the ~local cost baked into the apps).
+NUMA_REMOTE_PKT_NS = 4
+
+#: Extra trylock cost when the lock's cache line lives on the other
+#: socket (cross-socket cache-line transfer vs an on-die bounce).
+NUMA_REMOTE_TRYLOCK_NS = 60
+
+# --------------------------------------------------------------------- #
 # Metronome defaults (paper §5 preamble)
 # --------------------------------------------------------------------- #
 
@@ -254,6 +282,14 @@ class SimConfig:
     num_cores: int = 6
     #: optional SMT topology: list of (core_a, core_b) sibling pairs
     smt_pairs: list = None
+    #: NUMA sockets the cores are split across (contiguous blocks);
+    #: 1 = the paper's isolated single node, where every cross-socket
+    #: penalty below is structurally inert (docs/SCALE.md)
+    numa_nodes: int = 1
+    cross_socket_wake_ns: int = CROSS_SOCKET_WAKE_NS
+    numa_remote_burst_ns: int = NUMA_REMOTE_BURST_NS
+    numa_remote_pkt_ns: int = NUMA_REMOTE_PKT_NS
+    numa_remote_trylock_ns: int = NUMA_REMOTE_TRYLOCK_NS
     rx_ring_size: int = DEFAULT_RX_RING
     rx_burst: int = RX_BURST
     tx_batch: int = DEFAULT_TX_BATCH

@@ -87,6 +87,9 @@ class _SharedQueue:
 
     def __init__(self, machine: Machine, queue: RxQueue, tx_batch: int):
         self.queue = queue
+        #: NUMA node the queue's ring/mbuf memory lives on; threads on a
+        #: different socket pay remote-access surcharges when draining
+        self.node = getattr(queue, "node", 0)
         self.lock = TryLock(name=f"rxq{queue.index}", tracer=machine.tracer,
                             checks=machine.checks)
         self.tracker = QueueCycleTracker(start_ns=machine.sim.now)
@@ -285,7 +288,22 @@ class MetronomeGroup:
         sim = self.machine.sim
         service = self.service
         tracer = self.machine.tracer
+        cfg = self.machine.cfg
         nq = len(self.shared)
+        # NUMA memory penalties per queue, aligned with self.shared:
+        # (trylock, per-burst, per-packet) surcharges when the queue's
+        # ring memory homes on a socket other than this thread's.  All
+        # zero on the paper's single-node testbed, so the Compute sums
+        # below are arithmetically identical to the pre-NUMA loop.
+        my_node = kt.core.node
+        penalties = [
+            (0, 0, 0) if sq.node == my_node else (
+                cfg.numa_remote_trylock_ns,
+                cfg.numa_remote_burst_ns,
+                cfg.numa_remote_pkt_ns,
+            )
+            for sq in self.shared
+        ]
         while self.iterations is None or stats.iterations < self.iterations:
             stats.iterations += 1
             lock_taken = False
@@ -293,11 +311,13 @@ class MetronomeGroup:
                 # start the scan at a rotating offset so no queue is
                 # structurally the last one every thread reaches
                 off = (idx + stats.iterations) % nq
-                scan = [self.shared[(off + k) % nq] for k in range(nq)]
+                order = [(off + k) % nq for k in range(nq)]
             else:
-                scan = self.shared
-            for sq in scan:
-                yield Compute(config.TRYLOCK_NS)
+                order = range(nq)
+            for qi in order:
+                sq = self.shared[qi]
+                t_extra, b_extra, p_extra = penalties[qi]
+                yield Compute(config.TRYLOCK_NS + t_extra)
                 if not sq.lock.try_acquire(kt):
                     stats.busy_tries += 1
                     yield Compute(
@@ -322,7 +342,10 @@ class MetronomeGroup:
                     will_flush = (
                         sq.txbuf.pending + n >= sq.txbuf.batch_threshold
                     )
-                    cost = config.RX_BURST_FIXED_NS + self.app.batch_cost_ns(n)
+                    cost = (
+                        config.RX_BURST_FIXED_NS + self.app.batch_cost_ns(n)
+                        + b_extra + n * p_extra
+                    )
                     if will_flush:
                         cost += config.TX_FLUSH_NS
                     yield Compute(cost)

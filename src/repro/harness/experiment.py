@@ -23,6 +23,7 @@ from repro.metrics.latency import LatencyStats
 from repro.nic.device import NicPort
 from repro.nic.flows import FlowSet
 from repro.nic.rxqueue import RxQueue
+from repro.nic.topology import rss_shard
 from repro.nic.traffic import ArrivalProcess, CbrProcess, FaultableProcess
 from repro.sim.snapshot import MachineState
 from repro.sim.units import MS, SEC, US
@@ -355,10 +356,13 @@ def run_xdp(
 
     Traffic is split evenly across the queues (the paper's ethtool flow
     steering).  ``rate_pps`` may also be a ready
-    :class:`ArrivalProcess` (e.g. trace replay), which requires
-    ``num_queues=1`` — a stateful process cannot be split.
-    ``prewarmed=False`` starts with a cold page pool, for the
-    burst-reactivity experiment.
+    :class:`ArrivalProcess` (e.g. trace replay): a schedule-backed
+    process (trace replay) is RSS flow-sharded across the queues via
+    the Toeplitz redirection table
+    (:func:`repro.nic.topology.rss_shard`), conserving the master
+    schedule exactly; a synthetic stateful process without a fixed
+    schedule still requires ``num_queues=1``.  ``prewarmed=False``
+    starts with a cold page pool, for the burst-reactivity experiment.
     """
     from repro.xdp.driver import XdpDriver
 
@@ -368,19 +372,22 @@ def run_xdp(
         machine.enable_tracing()
     if checks:
         machine.enable_checks()
+    flows = None
     if isinstance(rate_pps, ArrivalProcess):
-        if num_queues != 1:
-            raise ValueError(
-                "an ArrivalProcess feeds exactly one queue; steer flows "
-                "with per-queue processes instead"
-            )
-        processes = [rate_pps]
+        if num_queues == 1:
+            processes = [rate_pps]
+        else:
+            # the shard mapping and the Rx tagger must resolve flow ids
+            # through the same population, so share one FlowSet
+            flows = FlowSet()
+            processes = rss_shard(rate_pps, num_queues, flows=flows)
     else:
         per_queue = int(rate_pps) // num_queues
         processes = [CbrProcess(per_queue) for _ in range(num_queues)]
     port = NicPort(
         machine.sim,
         processes,
+        flows=flows,
         ring_size=ring_size or cfg.rx_ring_size,
         sample_every=cfg.latency_sample_every,
     )

@@ -991,6 +991,10 @@ def trace_adversary(
 # ---------------------------------------------------------------------- #
 
 from repro.check.oracle import check_oracle_point  # noqa: E402
+from repro.harness.scale import (  # noqa: E402
+    scale_queue_count,
+    scale_thread_ratio,
+)
 
 #: every scenario by function name — the campaign engine
 #: (:mod:`repro.campaign`) resolves task specs through this table, and
@@ -1017,6 +1021,8 @@ SCENARIOS: Dict[str, Callable] = {
         chaos_suite,
         trace_phase_tracking,
         trace_adversary,
+        scale_queue_count,
+        scale_thread_ratio,
         check_oracle_point,
     )
 }

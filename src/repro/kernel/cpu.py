@@ -32,6 +32,10 @@ class Core:
         self.index = index
         self.base_freq = machine.cfg.base_freq_hz
         self.freq = self.base_freq
+        #: NUMA node this core belongs to (contiguous blocks across the
+        #: configured socket count; 0 for the paper's single-node box)
+        nodes = max(1, getattr(machine.cfg, "numa_nodes", 1))
+        self.node = index * nodes // max(1, machine.cfg.num_cores)
 
         self.current: Optional["KThread"] = None
         #: thread that ran most recently (cache-warmth tracking)

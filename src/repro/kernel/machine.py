@@ -38,6 +38,14 @@ class Machine:
         self.metrics = MetricsRegistry()
         #: event tracer; the no-op singleton unless enable_tracing() ran
         self.tracer = NULL_TRACER
+        #: NUMA socket count; cores split into contiguous blocks, the
+        #: timer/IRQ fabric and NIC home on node 0 (docs/SCALE.md)
+        self.numa_nodes = max(1, int(self.cfg.numa_nodes))
+        if self.numa_nodes > self.cfg.num_cores:
+            raise ValueError(
+                f"numa_nodes={self.numa_nodes} exceeds "
+                f"num_cores={self.cfg.num_cores}"
+            )
         self.cores: List[Core] = [Core(self, i) for i in range(self.cfg.num_cores)]
         if self.cfg.smt_pairs:
             for a, b in self.cfg.smt_pairs:
@@ -92,6 +100,27 @@ class Machine:
         self.threads.append(thread)
         self.scheduler.start_thread(thread)
         return thread
+
+    def node_of(self, core_index: int) -> int:
+        """NUMA node of a core (0 on the paper's single-node testbed)."""
+        return self.cores[core_index].node
+
+    def cores_on_node(self, node: int) -> List[int]:
+        """Core indexes belonging to ``node``."""
+        return [c.index for c in self.cores if c.node == node]
+
+    def wake_penalty_ns(self, core: Core) -> int:
+        """Cross-socket timer-IRQ delivery penalty for ``core``.
+
+        The timer fabric (HPET / the I/O hub forwarding the LAPIC IPI)
+        homes on node 0; a sleeper on a remote socket sees its expiry
+        that much later.  Exactly 0 on node-0 cores and on single-node
+        machines, so default configurations are byte-identical to the
+        pre-NUMA model.
+        """
+        if core.node == 0:
+            return 0
+        return self.cfg.cross_socket_wake_ns
 
     def sleep_service(self, name: str) -> SleepService:
         """Instantiate a sleep service (``"hr_sleep"``/``"nanosleep"``)."""

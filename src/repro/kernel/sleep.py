@@ -114,6 +114,10 @@ class SleepService:
             if tracer.enabled:
                 tracer.sleep_return(kt, immediate=True)
             return
+        # cross-socket timer-IRQ delivery: the timer fabric homes on
+        # node 0, so sleepers on a remote socket see expiry later
+        # (exactly 0 on the paper's single-node testbed — byte-identical)
+        expiry += self.machine.wake_penalty_ns(kt.core)
         queue = self.machine.hrtimers[kt.core.index]
         timer = queue.arm(expiry, kt.wake)
         if tracer.enabled:

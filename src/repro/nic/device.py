@@ -13,6 +13,8 @@ from typing import Callable, List, Optional
 
 from repro import config
 from repro.nic.flows import FlowSet
+from repro.nic.packet import PacketHeader
+from repro.nic.rss import RssSteering
 from repro.nic.rxqueue import RxQueue
 from repro.nic.traffic import ArrivalProcess
 from repro.sim.core import Handle, Simulator
@@ -28,11 +30,29 @@ class NicPort:
         flows: Optional[FlowSet] = None,
         ring_size: int = config.DEFAULT_RX_RING,
         sample_every: int = config.LATENCY_SAMPLE_EVERY,
+        node: int = 0,
+        rss: Optional["RssSteering"] = None,
+        queue_nodes: Optional[List[int]] = None,
+        first_queue_index: int = 0,
     ):
         if not processes:
             raise ValueError("a port needs at least one queue")
+        if queue_nodes is not None and len(queue_nodes) != len(processes):
+            raise ValueError(
+                f"queue_nodes has {len(queue_nodes)} entries for "
+                f"{len(processes)} queues"
+            )
         self.sim = sim
         self.flows = flows or FlowSet()
+        #: NUMA node the port's PCIe lanes (and default ring memory)
+        #: attach to; per-queue placement may override via queue_nodes
+        self.node = node
+        #: optional RSS indirection (``repro.nic.rss``); queue_for()
+        #: resolves a header to one of this port's queues through it
+        self.rss = rss
+        #: global index of this port's first queue (a multi-port
+        #: NicDevice numbers queues contiguously across ports)
+        self.first_queue_index = first_queue_index
         self.queues: List[RxQueue] = [
             RxQueue(
                 sim,
@@ -40,7 +60,8 @@ class NicPort:
                 flows=self.flows,
                 ring_size=ring_size,
                 sample_every=sample_every,
-                index=i,
+                index=first_queue_index + i,
+                node=node if queue_nodes is None else queue_nodes[i],
             )
             for i, proc in enumerate(processes)
         ]
@@ -53,6 +74,19 @@ class NicPort:
         ports = getattr(sim, "nic_ports", None)
         if ports is not None:
             ports.append(self)
+
+    # ------------------------------------------------------------------ #
+
+    def queue_for(self, header: PacketHeader) -> RxQueue:
+        """The queue this port's RSS engine steers ``header`` to.
+
+        Requires an :class:`~repro.nic.rss.RssSteering` instance — ports
+        built without one model the legacy "independent process per
+        queue" approximation and have no steering function.
+        """
+        if self.rss is None:
+            raise ValueError("port has no RSS steering configured")
+        return self.queues[self.rss.queue_for(header)]
 
     # ------------------------------------------------------------------ #
 

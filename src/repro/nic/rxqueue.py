@@ -37,6 +37,7 @@ class RxQueue:
         ring_size: int = config.DEFAULT_RX_RING,
         sample_every: int = config.LATENCY_SAMPLE_EVERY,
         index: int = 0,
+        node: int = 0,
     ):
         self.sim = sim
         self.process = process
@@ -44,6 +45,9 @@ class RxQueue:
         self.ring = DescriptorRing(ring_size)
         self.sample_every = max(1, sample_every)
         self.index = index
+        #: NUMA node whose memory holds this queue's ring/mbufs; threads
+        #: on another socket pay remote-access surcharges when draining
+        self.node = node
         #: accepted tagged packets still inside the ring, FIFO by seq
         self._tagged: deque = deque()
         #: tagged packets that were tail-dropped (loss accounting)

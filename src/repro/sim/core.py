@@ -489,6 +489,15 @@ class Simulator:
             "pending_digest": digest,
         }
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total calendar entries scheduled since construction.
+
+        Monotonic schedule counter (cancellations included) — the
+        denominator ``repro bench`` uses for events/sec throughput.
+        """
+        return self._seq
+
     def peek(self) -> Optional[int]:
         """Time of the next live scheduled callback, or None if empty."""
         near = self._near_head()

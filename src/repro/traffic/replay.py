@@ -180,6 +180,33 @@ class TraceReplayProcess(ArrivalProcess):
         cycles, j = divmod(idx, self._n)
         return self.start + cycles * self._cycle + self._times[j]
 
+    # -- schedule access (read-only; RSS sharding) ------------------------- #
+
+    @property
+    def schedule_times(self) -> List[int]:
+        """The fixed arrival-offset schedule (relative to ``start``).
+
+        Read-only view for consumers that partition the replay across
+        RSS queues (:func:`repro.nic.topology.rss_shard`); mutating the
+        returned list breaks the replay contract.
+        """
+        return self._times
+
+    @property
+    def schedule_flows(self) -> List[int]:
+        """Per-arrival flow ids aligned with :attr:`schedule_times`."""
+        return self._flows
+
+    @property
+    def schedule_lens(self) -> List[int]:
+        """Per-arrival frame lengths aligned with :attr:`schedule_times`."""
+        return self._lens
+
+    @property
+    def cycle_ns(self) -> int:
+        """Length of one loop cycle in scaled nanoseconds."""
+        return self._cycle
+
     # -- flow plumbing ---------------------------------------------------- #
 
     def flow_of(self, seq: int) -> Optional[int]:

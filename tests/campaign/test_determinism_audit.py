@@ -51,4 +51,5 @@ def test_audit_covers_the_whole_registry():
         "table1", "table2", "table3",
         "fig6", "fig7", "fig8", "fig9", "fig12", "fig13",
         "trace_phases", "trace_adversary",
+        "scale_queue_count", "scale_thread_ratio",
     }

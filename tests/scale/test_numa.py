@@ -1,0 +1,122 @@
+"""The NUMA machine model: placement, wake penalties, memory penalties."""
+
+import pytest
+
+from repro import config
+from repro.core.metronome import MetronomeGroup
+from repro.core.tuning import FixedTuner
+from repro.dpdk.app import CountingApp
+from repro.kernel.machine import Machine
+from repro.kernel.thread import Exit
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import CbrProcess
+from repro.sim.units import US
+
+
+def quiet_cfg(**kw):
+    kw.setdefault("os_noise", False)
+    kw.setdefault("seed", 7)
+    return config.SimConfig(**kw)
+
+
+# --------------------------------------------------------------------- #
+# placement
+# --------------------------------------------------------------------- #
+
+
+def test_cores_split_into_contiguous_node_blocks():
+    machine = Machine(quiet_cfg(num_cores=8, numa_nodes=2))
+    assert [c.node for c in machine.cores] == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert machine.cores_on_node(0) == [0, 1, 2, 3]
+    assert machine.cores_on_node(1) == [4, 5, 6, 7]
+    assert machine.node_of(0) == 0 and machine.node_of(7) == 1
+
+
+def test_uneven_core_split_keeps_blocks_contiguous():
+    machine = Machine(quiet_cfg(num_cores=6, numa_nodes=4))
+    nodes = [c.node for c in machine.cores]
+    assert nodes == sorted(nodes)               # contiguous blocks
+    assert set(nodes) == {0, 1, 2, 3}           # every node populated
+
+
+def test_more_nodes_than_cores_rejected():
+    with pytest.raises(ValueError, match="numa_nodes"):
+        Machine(quiet_cfg(num_cores=2, numa_nodes=3))
+
+
+# --------------------------------------------------------------------- #
+# cross-socket wake penalty (sleep/wake pipeline)
+# --------------------------------------------------------------------- #
+
+
+def _sleep_elapsed(numa_nodes: int, core: int, service: str = "hr_sleep"):
+    machine = Machine(quiet_cfg(num_cores=4, numa_nodes=numa_nodes))
+    out = {}
+
+    def body(kt):
+        svc = machine.sleep_service(service)
+        t0 = machine.sim.now
+        yield from svc.call(kt, 50 * US)
+        out["elapsed"] = machine.sim.now - t0
+        yield Exit()
+
+    machine.spawn(body, name="sleeper", core=core)
+    machine.run()
+    return out["elapsed"]
+
+
+def test_wake_penalty_zero_on_node0_and_single_node():
+    machine = Machine(quiet_cfg(num_cores=4, numa_nodes=2))
+    assert machine.wake_penalty_ns(machine.cores[0]) == 0
+    assert (machine.wake_penalty_ns(machine.cores[3])
+            == config.CROSS_SOCKET_WAKE_NS)
+    single = Machine(quiet_cfg(num_cores=4, numa_nodes=1))
+    assert all(single.wake_penalty_ns(c) == 0 for c in single.cores)
+
+
+@pytest.mark.parametrize("service", ["hr_sleep", "nanosleep"])
+def test_remote_socket_sleep_lands_later(service):
+    """A sleeper on the remote socket sees its expiry pushed out by the
+    cross-socket penalty (same seed, same RNG draws; the only extra
+    slack is the C-state exit latency of the longer idle interval)."""
+    local = _sleep_elapsed(1, 3, service)
+    remote = _sleep_elapsed(2, 3, service)   # core 3 is on node 1
+    delta = remote - local
+    assert config.CROSS_SOCKET_WAKE_NS <= delta <= (
+        config.CROSS_SOCKET_WAKE_NS + 1_000
+    ), delta
+
+
+def test_node0_core_identical_across_node_counts():
+    """Node-0 sleepers never pay the penalty: the same core on a 1-node
+    and a 2-node machine sleeps for exactly the same sim time."""
+    assert _sleep_elapsed(1, 0) == _sleep_elapsed(2, 0)
+
+
+# --------------------------------------------------------------------- #
+# remote memory penalties (Metronome drain path)
+# --------------------------------------------------------------------- #
+
+
+def _drain_cpu_ns(core: int) -> int:
+    """One thread, 16 iterations over a node-0 queue, fixed timeouts."""
+    machine = Machine(quiet_cfg(num_cores=4, numa_nodes=2))
+    queue = RxQueue(machine.sim, CbrProcess(1_000_000), node=0)
+    group = MetronomeGroup(
+        machine, [queue], CountingApp(),
+        tuner=FixedTuner(ts_ns=20 * US, tl_ns=20 * US),
+        num_threads=1, cores=[core], iterations=16,
+    )
+    group.start()
+    machine.run(until=5_000_000)
+    assert group.all_done()
+    return group.cpu_time_ns()
+
+
+def test_remote_queue_drain_costs_more_cpu():
+    local = _drain_cpu_ns(0)    # node 0 thread, node 0 queue
+    remote = _drain_cpu_ns(3)   # node 1 thread, node 0 queue
+    assert remote > local
+    # the surcharge is per-trylock + per-burst + per-packet; 16
+    # iterations of one queue pay at least 16 trylock surcharges
+    assert remote - local >= 16 * config.NUMA_REMOTE_TRYLOCK_NS

@@ -1,0 +1,85 @@
+"""Byte-identity pins guarding the multi-queue/NUMA refactor (ISSUE 9).
+
+The scale-out tentpole touched the hot loops (`_body`, the sleep arm
+path, RxQueue/NicPort construction).  These pins were captured on the
+commit *before* the refactor; the paper's single-node configs must
+reproduce them bit-for-bit, proving the NUMA penalties are structurally
+inert at their defaults.
+"""
+
+import hashlib
+import json
+
+from repro import config
+from repro.campaign import FIGURES
+from repro.campaign.executor import execute_task
+from repro.core.metronome import MetronomeGroup
+from repro.harness.experiment import default_app
+from repro.kernel.machine import Machine
+from repro.nic.flows import FlowSet
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import CbrProcess
+
+# captured pre-refactor (commit f625643), fig7 fast task at scale=0.25
+FIG7_GOLDEN_RECORD = [[100, 0.327217125382263, 0.6037465]]
+FIG7_GOLDEN_SHA = (
+    "ef6e5b2dd94071467445c09e76ee98e21b36d58113a94b32be2f6228f1b4d464"
+)
+# captured pre-refactor: the 2-queue / 3-thread paper testbed fingerprint
+TWO_QUEUE_SHA = (
+    "9ff4aeba8e518f14b06392e014bf9e9bf278551e96a9fb39686b86e90f9a3d9d"
+)
+
+
+def canonical_sha(obj) -> str:
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def test_fig7_golden_byte_identical_to_pre_refactor():
+    spec = FIGURES["fig7"].tasks(scale=0.25)[0]
+    record = execute_task(spec)
+    assert record == FIG7_GOLDEN_RECORD
+    assert canonical_sha(record) == FIG7_GOLDEN_SHA
+
+
+def test_two_queue_scenario_byte_identical_to_pre_refactor():
+    cfg = config.SimConfig(seed=2020)
+    machine = Machine(cfg)
+    machine.enable_checks()
+    flows = FlowSet()
+    queues = [
+        RxQueue(machine.sim, CbrProcess(4_000_000), flows=flows, index=i)
+        for i in range(2)
+    ]
+    group = MetronomeGroup(machine, queues, default_app(), num_threads=3,
+                           cores=[0, 1, 2])
+    group.start()
+    machine.run(until=20_000_000)
+    for q in queues:
+        q.sync()
+    machine.checks.quiesce(consumed=group.total_packets)
+    assert machine.checks.ok, [str(v) for v in machine.checks.violations]
+    fingerprint = {
+        "arrived": sum(q.arrived_total for q in queues),
+        "busy_tries": group.busy_tries,
+        "cpu_ns": group.cpu_time_ns(),
+        "cycles": [group.cycle_stats(i).count for i in range(2)],
+        "drops": group.total_drops(),
+        "iterations": group.total_iterations,
+        "packets": group.total_packets,
+    }
+    assert canonical_sha(fingerprint) == TWO_QUEUE_SHA, fingerprint
+
+
+def test_numa_defaults_are_inert():
+    """The default config models the paper's single-node testbed: one
+    NUMA node, every core and queue on node 0, zero penalties."""
+    cfg = config.SimConfig()
+    assert cfg.numa_nodes == 1
+    machine = Machine(cfg)
+    assert machine.numa_nodes == 1
+    assert all(c.node == 0 for c in machine.cores)
+    assert all(machine.wake_penalty_ns(c) == 0 for c in machine.cores)
+    queue = RxQueue(machine.sim, CbrProcess(0))
+    assert queue.node == 0

@@ -1,0 +1,121 @@
+"""Property-based scale-stress tests (ISSUE 9's test backbone).
+
+Hypothesis programs over (num_queues 1–64, threads 1–48, seed)
+asserting, at every sampled scale point:
+
+* rotating-scan fairness — every queue is attempted by every thread on
+  every wake round, so attempt counts are exactly uniform per round;
+* trylock shadow-map cleanliness — the independent lock witness sees a
+  legal acquire/release history and nothing held by a dead sleeper;
+* NIC packet conservation — arrived == popped + dropped + in-flight on
+  every ring, and the workload's packet count matches the rings.
+
+All assertions are sim-time/counter based (no wall-clock), so they are
+immune to the settrace-coverage timing perturbation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import config
+from repro.core.metronome import MetronomeGroup
+from repro.core.tuning import FixedTuner
+from repro.dpdk.app import CountingApp
+from repro.harness.scale import run_metronome_scaled
+from repro.kernel.machine import Machine
+from repro.nic.rxqueue import RxQueue
+from repro.nic.traffic import CbrProcess
+from repro.sim.units import US
+
+SCALE_SETTINGS = settings(max_examples=10, deadline=None, derandomize=True)
+
+
+def build_group(num_queues, num_threads, seed, rate_pps=0, iterations=4,
+                numa_nodes=2, checks=True):
+    cfg = config.SimConfig(
+        seed=seed, num_cores=num_threads, os_noise=False,
+        numa_nodes=max(1, min(numa_nodes, num_threads)),
+    )
+    machine = Machine(cfg)
+    if checks:
+        machine.enable_checks()
+    queues = [
+        RxQueue(machine.sim, CbrProcess(rate_pps), index=i,
+                node=i * machine.numa_nodes // num_queues)
+        for i in range(num_queues)
+    ]
+    group = MetronomeGroup(
+        machine, queues, CountingApp(),
+        tuner=FixedTuner(ts_ns=20 * US, tl_ns=20 * US),
+        num_threads=num_threads, cores=list(range(num_threads)),
+        iterations=iterations,
+    )
+    group.start()
+    return machine, group
+
+
+@SCALE_SETTINGS
+@given(
+    num_queues=st.integers(min_value=1, max_value=64),
+    num_threads=st.integers(min_value=1, max_value=48),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_rotating_scan_fairness(num_queues, num_threads, seed):
+    """Each wake round of each thread attempts every queue exactly once
+    (the rotation changes the order, never the coverage), so total
+    attempts per queue equal the group's total iterations."""
+    machine, group = build_group(num_queues, num_threads, seed)
+    machine.run(until=50_000_000)
+    assert group.all_done()
+    total_rounds = group.total_iterations
+    assert total_rounds == num_threads * 4
+    for sq in group.shared:
+        attempts = sq.lock.acquisitions + sq.lock.busy_tries
+        assert attempts == total_rounds, (
+            f"queue {sq.queue.index}: {attempts} attempts over "
+            f"{total_rounds} rounds"
+        )
+
+
+@SCALE_SETTINGS
+@given(
+    num_queues=st.integers(min_value=1, max_value=64),
+    num_threads=st.integers(min_value=1, max_value=48),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_trylock_shadow_map_clean(num_queues, num_threads, seed):
+    """With traffic and contention, the independent shadow map witnesses
+    a legal lock history and ends with nothing improperly held."""
+    machine, group = build_group(num_queues, num_threads, seed,
+                                 rate_pps=500_000, iterations=6)
+    machine.run(until=80_000_000)
+    assert group.all_done()
+    machine.checks.quiesce(consumed=group.total_packets)
+    lock_violations = [
+        v for v in machine.checks.violations if v.monitor == "lock"
+    ]
+    assert not lock_violations, [str(v) for v in lock_violations]
+    assert machine.checks.checked["lock"] > 0
+
+
+@SCALE_SETTINGS
+@given(
+    num_queues=st.integers(min_value=1, max_value=64),
+    num_threads=st.integers(min_value=1, max_value=48),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_nic_conservation_at_scale(num_queues, num_threads, seed):
+    """Every ring conserves packets at every sampled scale point, and
+    the group's delivered count matches what the rings handed out."""
+    res = run_metronome_scaled(
+        num_queues, num_threads, gbps=10.0, duration_ms=2,
+        numa_nodes=2, seed=seed, checks=True,
+        app=CountingApp(),
+    )
+    checks = res.machine.checks
+    assert checks.ok, [str(v) for v in checks.violations]
+    accounted = res.delivered + res.drops
+    in_flight = sum(
+        sq.queue.ring.occupancy for sq in res.group.shared
+    )
+    assert res.offered == accounted + in_flight
