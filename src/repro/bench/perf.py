@@ -24,6 +24,7 @@ which is where the large speedup comes from.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from typing import Callable, Dict, List, Optional
@@ -341,6 +342,60 @@ def bench_scale(quick: bool) -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------- #
+# whole-tree lint cost
+# --------------------------------------------------------------------- #
+
+
+def bench_lint(quick: bool) -> Dict[str, object]:
+    """Wall-clock of the interprocedural whole-tree lint, cold vs
+    summary-cached.
+
+    The cold run parses every module, runs the file rules, and extracts
+    effect facts; the warm run replays all of that from the
+    content-hashed cache and pays only for the call-graph link plus the
+    program rules.  The warm/cold ratio is the cache's value and the
+    link step's cost, PR over PR.  Never gated: both are
+    machine-dependent trajectory data.
+    """
+    import shutil
+    import tempfile
+
+    import repro
+    from repro.lint.cache import SummaryCache
+    from repro.lint.engine import LintConfig, run_lint
+
+    # src/repro/__init__.py -> src/repro -> src -> repo root
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__))))
+    cfg = LintConfig(root=root)
+    cache_dir = tempfile.mkdtemp(prefix="bench-lint-cache-")
+    try:
+        cache = SummaryCache(cache_dir)
+        t0 = time.perf_counter()
+        cold_result = run_lint(cfg, cache=cache)
+        cold = time.perf_counter() - t0
+
+        reps = 1 if quick else 3
+        warm = float("inf")
+        for _ in range(reps):
+            cache = SummaryCache(cache_dir)
+            t0 = time.perf_counter()
+            warm_result = run_lint(cfg, cache=cache)
+            warm = min(warm, time.perf_counter() - t0)
+        hit_rate = cache.hits / max(1, cache.hits + cache.misses)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "files": cold_result.files,
+        "findings": len(cold_result.findings) + len(warm_result.findings),
+        "cold_s": round(cold, 3),
+        "warm_s": round(warm, 3),
+        "warm_over_cold": round(warm / cold, 3) if cold > 0 else 0.0,
+        "cache_hit_rate": round(hit_rate, 3),
+    }
+
+
+# --------------------------------------------------------------------- #
 # whole-figure wall clock
 # --------------------------------------------------------------------- #
 
@@ -392,6 +447,10 @@ def run_benches(quick: bool = False,
     scale = bench_scale(quick)
     say(f"  {scale['events_per_sec']:,.0f} ev/s, "
         f"wall {scale['wall_s']:.1f} s")
+    say("lint (whole-tree interprocedural, cold vs cached)...")
+    lint = bench_lint(quick)
+    say(f"  cold {lint['cold_s']:.2f} s, warm {lint['warm_s']:.2f} s "
+        f"({lint['warm_over_cold']:.2f}x)")
     benches: Dict[str, object] = {
         "event_churn": churn,
         "event_fire": fire,
@@ -399,6 +458,7 @@ def run_benches(quick: bool = False,
         "trace_replay": replay,
         "checkpoint": checkpoint,
         "scale": scale,
+        "lint": lint,
     }
     if not skip_figures:
         say(f"figures {', '.join(BENCH_FIGURES)} wall-clock...")

@@ -1,0 +1,96 @@
+"""Content-hashed per-module analysis cache.
+
+A warm whole-tree lint should cost roughly the call-graph link step,
+not a re-parse of every file: the per-file work (parsing, file rules,
+suppression scanning, fact extraction) depends only on the file's
+bytes and the analysis configuration, so it is cached as one JSON
+document per module under ``benchmarks/results/lint-cache/``.
+
+An entry is valid only when *both* keys match:
+
+* the module's content hash — any edit invalidates exactly that file;
+* the config digest (:func:`repro.lint.engine.config_digest`), which
+  folds in the analyzer version, rule selection, and every config
+  field the analysis reads — bumping ``ANALYZER_VERSION`` or changing
+  an allowlist invalidates the whole cache at once, so stale semantics
+  can never leak through a content match.
+
+Corrupt or unreadable entries count as misses (the cache is an
+artifact directory; campaign workers may be writing next to it).
+Writes are atomic (temp + rename) so a crashed run never leaves a
+half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+
+def _content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+class SummaryCache:
+    """One directory of per-module cached analyses."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, relpath: str) -> str:
+        name = hashlib.sha256(relpath.encode()).hexdigest()[:24]
+        return os.path.join(self.directory, f"{name}.json")
+
+    def load(
+        self, relpath: str, source: str, config_digest: str
+    ) -> Optional[Dict[str, Any]]:
+        """The cached analysis of ``relpath``, or None on any mismatch."""
+        try:
+            with open(self._entry_path(relpath), encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            doc.get("path") != relpath
+            or doc.get("content") != _content_hash(source)
+            or doc.get("config") != config_digest
+        ):
+            self.misses += 1
+            return None
+        entry = doc.get("entry")
+        if not isinstance(entry, dict) or "findings" not in entry:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        relpath: str,
+        source: str,
+        config_digest: str,
+        entry: Dict[str, Any],
+    ) -> None:
+        path = self._entry_path(relpath)
+        os.makedirs(self.directory, exist_ok=True)
+        doc = {
+            "path": relpath,
+            "content": _content_hash(source),
+            "config": config_digest,
+            "entry": entry,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

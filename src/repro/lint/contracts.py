@@ -1,0 +1,239 @@
+"""Checkpoint- and generator-purity rules (C001/C002, G001/G002).
+
+Two subsystems promise side-effect freedom as part of their API, and
+both promises are load-bearing for reproducibility:
+
+* **Checkpoint capture** (:mod:`repro.sim.snapshot`) documents itself
+  as pure observation — taking a snapshot must never change a run's
+  subsequent results.  The contract extends transitively through every
+  ``snapshot_state()``/``snapshot()`` helper capture fans out to: one
+  mutating accessor deep in a component (the ``read_joules()`` closing
+  the power meter's open intervals, caught in review as PR 7's
+  ``peek_joules`` split) breaks byte-identical continuation.  C001
+  flags any write reachable from ``capture``/``verify``; C002 flags
+  any RNG draw.
+
+* **Trace generators** (:mod:`repro.traffic.generators`) promise that
+  every catalogue entry is a pure function of ``(spec, seed)`` — that
+  is what makes generated traces cacheable by content hash and safe to
+  regenerate inside campaign workers.  G001 flags module-global writes
+  reachable from a generator; G002 flags draws from streams outside
+  the ``traffic.*``/``faults.*`` families (a generator quietly pulling
+  from, say, ``net.jitter`` couples trace bytes to unrelated config).
+
+Reachability comes from :meth:`repro.lint.callgraph.Program.reachable`
+with the class-hierarchy fallback enabled: a ``machine.streams
+.snapshot_state()`` whose receiver type is unknown still reaches every
+in-tree ``snapshot_state`` implementation.  Conservative by design —
+these closures are small and their contract is absolute.  Writes to
+objects constructed *inside* the closure are exempt (building the
+snapshot dict is not a side effect).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.engine import Finding, ProgramContext, program_rule
+
+Parents = Dict[str, Tuple[Optional[str], int, bool]]
+
+
+def _root_of(parents: Parents, key: str, limit: int = 25) -> str:
+    cur = key
+    for _ in range(limit):
+        parent = parents.get(cur, (None, 0, False))[0]
+        if parent is None:
+            break
+        cur = parent
+    return cur
+
+
+def _closure(pc: ProgramContext, roots: Iterable[str]) -> Parents:
+    memo_key = ("closure", tuple(sorted(roots)))
+    cached = pc.memo.get(memo_key)
+    if cached is None:
+        cached = pc.program.reachable(roots, use_cha=True)
+        pc.memo[memo_key] = cached
+    return cached
+
+
+def _checkpoint_roots(pc: ProgramContext) -> List[str]:
+    mod = pc.config.checkpoint_module
+    facts = pc.facts.get(mod)
+    if not facts:
+        return []
+    return [
+        f"{mod}::{name}" for name in pc.config.checkpoint_roots
+        if name in facts["module_funcs"]
+    ]
+
+
+def _generator_roots(pc: ProgramContext) -> List[str]:
+    mod = pc.config.generator_module
+    facts = pc.facts.get(mod)
+    if not facts:
+        return []
+    return [f"{mod}::{name}" for name in facts["module_funcs"]]
+
+
+def _described(pc: ProgramContext, parents: Parents, key: str,
+               root_verb: str) -> Tuple[str, Tuple]:
+    """("<where> ...", chain) naming the function and its entry root."""
+    prog = pc.program
+    root = _root_of(parents, key)
+    if root == key:
+        return f"`{prog.display(key)}` ({root_verb} entry point)", ()
+    chain = prog.reach_chain(parents, key)
+    return (
+        f"`{prog.display(key)}`, reachable from {root_verb} entry point "
+        f"`{prog.display(root)}`",
+        chain,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# C-rules: checkpoint purity
+# ---------------------------------------------------------------------- #
+
+
+def _checkpoint_findings(pc: ProgramContext) -> List[Tuple[Finding, str]]:
+    cached = pc.memo.get("checkpoint_findings")
+    if cached is not None:
+        return cached
+    out: List[Tuple[Finding, str]] = []
+    roots = _checkpoint_roots(pc)
+    if roots:
+        parents = _closure(pc, roots)
+        prog = pc.program
+        for key in sorted(parents):
+            facts = prog.functions[key]
+            path = prog.func_path[key]
+            fresh = parents[key][2]
+            where, chain = _described(pc, parents, key, "checkpoint")
+
+            def emit(rid: str, site: Dict[str, Any], what: str,
+                     hint: str) -> None:
+                out.append((pc.finding(
+                    path, site["line"], site["col"], rid,
+                    f"{what} in {where} — checkpoint capture must be "
+                    "pure observation",
+                    hint=hint, chain=chain,
+                ), rid))
+
+            write_hint = (
+                "capture/verify must not mutate any pre-existing "
+                "state: return a peeked copy instead of writing "
+                "(split the accessor like peek_joules/read_joules), "
+                "or take this function out of the capture path"
+            )
+            for param, site in sorted(facts["param_writes"].items()):
+                emit("C001", site,
+                     f"write to parameter `{param}` ({site['desc']})",
+                     write_hint)
+            for site in facts["global_writes"]:
+                emit("C001", site,
+                     f"module-global write ({site['desc']})", write_hint)
+            if facts["self_write"] and facts["cls"] and not fresh:
+                emit("C001", facts["self_write"],
+                     f"write to `self` ({facts['self_write']['desc']})",
+                     write_hint)
+
+            draw_hint = (
+                "a draw during capture advances a stream and forks "
+                "the run from its uncheckpointed twin; snapshot RNG "
+                "state with getstate-style accessors only"
+            )
+            for site in facts["draws"]:
+                emit("C002", site,
+                     f"RNG stream draw ({site['desc']})", draw_hint)
+            if path != pc.config.rng_module:
+                for site in facts["rawrng"]:
+                    emit("C002", site, site["desc"], draw_hint)
+    pc.memo["checkpoint_findings"] = out
+    return out
+
+
+@program_rule("C001", "checkpoint-writes",
+              "state write reachable from checkpoint capture/verify")
+def check_checkpoint_writes(pc: ProgramContext) -> Iterable[Finding]:
+    for f, rid in _checkpoint_findings(pc):
+        if rid == "C001":
+            yield f
+
+
+@program_rule("C002", "checkpoint-draws",
+              "RNG use reachable from checkpoint capture/verify")
+def check_checkpoint_draws(pc: ProgramContext) -> Iterable[Finding]:
+    for f, rid in _checkpoint_findings(pc):
+        if rid == "C002":
+            yield f
+
+
+# ---------------------------------------------------------------------- #
+# G-rules: generator purity
+# ---------------------------------------------------------------------- #
+
+
+def _generator_findings(pc: ProgramContext) -> List[Tuple[Finding, str]]:
+    cached = pc.memo.get("generator_findings")
+    if cached is not None:
+        return cached
+    out: List[Tuple[Finding, str]] = []
+    roots = _generator_roots(pc)
+    if roots:
+        parents = _closure(pc, roots)
+        prog = pc.program
+        prefixes = tuple(pc.config.generator_stream_prefixes)
+        for key in sorted(parents):
+            facts = prog.functions[key]
+            path = prog.func_path[key]
+            where, chain = _described(pc, parents, key, "generator")
+
+            for site in facts["global_writes"]:
+                out.append((pc.finding(
+                    path, site["line"], site["col"], "G001",
+                    f"module-global write ({site['desc']}) in {where} — "
+                    "generators must be pure functions of (spec, seed)",
+                    hint="a module-global makes trace bytes depend on "
+                         "call order; derive everything from the spec "
+                         "and the seeded streams",
+                    chain=chain,
+                ), "G001"))
+
+            if path == pc.config.rng_module:
+                continue  # the stream factory's own plumbing
+            for site in facts["draws"]:
+                prefix = site.get("prefix")
+                if prefix is not None and prefix.startswith(prefixes):
+                    continue
+                shown = (f"`{prefix}...`" if prefix is not None
+                         else "a non-literal stream name")
+                out.append((pc.finding(
+                    path, site["line"], site["col"], "G002",
+                    f"draw from {shown} in {where} — generators may "
+                    f"only draw from "
+                    f"{'/'.join(p + '*' for p in prefixes)} streams",
+                    hint="name the stream with a literal traffic.* "
+                         "prefix so trace bytes cannot couple to "
+                         "unrelated subsystems' draw order",
+                    chain=chain,
+                ), "G002"))
+    pc.memo["generator_findings"] = out
+    return out
+
+
+@program_rule("G001", "generator-global-write",
+              "module-global write reachable from a trace generator")
+def check_generator_globals(pc: ProgramContext) -> Iterable[Finding]:
+    for f, rid in _generator_findings(pc):
+        if rid == "G001":
+            yield f
+
+
+@program_rule("G002", "generator-foreign-stream",
+              "trace generator draws from a foreign stream family")
+def check_generator_streams(pc: ProgramContext) -> Iterable[Finding]:
+    for f, rid in _generator_findings(pc):
+        if rid == "G002":
+            yield f

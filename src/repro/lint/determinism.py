@@ -1,11 +1,19 @@
-"""Determinism rules (D001–D004).
+"""Determinism rules (D001–D006).
 
 The whole reproduction is a deterministic discrete-event simulation:
 same seed, same packet-for-packet run.  That holds only if (a) every
 random draw flows through the named streams of :mod:`repro.sim.rng`,
 (b) nothing in the simulated world reads the wall clock, and (c) no
 iteration order that feeds the simulator depends on hashing or object
-identity.  These rules enforce each leg statically.
+identity.  D001–D004 enforce each leg statically within one file.
+
+D005/D006 close the wrapper loophole with the propagated summaries:
+D002 cannot see a sim component calling a ``bench/`` helper that reads
+``time.perf_counter`` (the helper's file is allowlisted), and D001
+cannot see a call into a wrapper that draws raw RNG one file away.
+Both rules fire exactly at the boundary-crossing call site — the
+callee's own callers are not re-flagged, so one leak yields one
+finding, with the chain pointing at the underlying clock read / draw.
 """
 
 from __future__ import annotations
@@ -14,7 +22,13 @@ import ast
 from typing import Iterable, List, Optional, Set
 
 from repro.lint.astutil import ImportMap, call_attr, dotted_name, target_root
-from repro.lint.engine import FileContext, Finding, rule
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    ProgramContext,
+    program_rule,
+    rule,
+)
 
 #: time.* members that read or wait on the wall clock
 _WALLCLOCK_TIME = {
@@ -251,3 +265,75 @@ def check_id_ordering(ctx: FileContext) -> Iterable[Finding]:
                     hint="order by a stable attribute (name, index, "
                          "sequence number) instead of identity",
                 )
+
+
+def _resolved_calls(pc: ProgramContext, path: str):
+    """(call record, resolution, caller key) for every resolved call
+    site in ``path``, in source order."""
+    prog = pc.program
+    for qual in sorted(pc.facts[path]["functions"]):
+        key = f"{path}::{qual}"
+        for call in sorted(pc.facts[path]["functions"][qual]["calls"],
+                           key=lambda c: (c["line"], c["col"])):
+            res = prog.resolution_at(path, call["line"], call["col"])
+            if res is not None:
+                yield call, res, key
+
+
+@program_rule("D005", "wall-clock-transitive",
+              "simulated code reaches the wall clock through an "
+              "allowlisted helper")
+def check_wallclock_transitive(pc: ProgramContext) -> Iterable[Finding]:
+    prog = pc.program
+    for path in sorted(pc.facts):
+        if pc.wallclock_allowed(path):
+            continue
+        for call, res, _key in _resolved_calls(pc, path):
+            callee_path = prog.func_path[res.key]
+            if not pc.wallclock_allowed(callee_path):
+                continue  # not a boundary crossing
+            w = prog.summaries[res.key].wallclock
+            if w is None:
+                continue
+            yield pc.finding(
+                path, call["line"], call["col"], "D005",
+                f"call into `{prog.display(res.key)}` reads the wall "
+                "clock: the allowlist covers that helper's own file, "
+                "not simulated callers",
+                hint="simulated components take time from "
+                     "machine.sim.now; pass timings in, or move the "
+                     "clock read to the campaign/bench layer",
+                chain=(
+                    (path, call["line"], f"calls {prog.display(res.key)}"),
+                ) + prog.chain(res.key, "wallclock"),
+            )
+
+
+@program_rule("D006", "raw-rng-transitive",
+              "call into a wrapper that draws raw (unstreamed) RNG")
+def check_raw_rng_transitive(pc: ProgramContext) -> Iterable[Finding]:
+    prog = pc.program
+    for path in sorted(pc.facts):
+        if path == pc.config.rng_module:
+            continue
+        for call, res, _key in _resolved_calls(pc, path):
+            callee_path = prog.func_path[res.key]
+            if callee_path == pc.config.rng_module:
+                continue  # the one module allowed to touch raw RNG
+            w = prog.summaries[res.key].rawrng
+            if w is None or w[0] != "direct":
+                continue  # the drawing function itself gets D001;
+                # flagging only its immediate callers stops the
+                # finding from cascading up every call chain
+            yield pc.finding(
+                path, call["line"], call["col"], "D006",
+                f"call into `{prog.display(res.key)}` draws raw RNG "
+                f"({w[3]}): seeded replay cannot see or pin this "
+                "generator",
+                hint="route the draw through a named stream "
+                     "(machine.streams.stream('<component>')) so the "
+                     "seed recipe captures it",
+                chain=(
+                    (path, call["line"], f"calls {prog.display(res.key)}"),
+                ) + prog.chain(res.key, "rawrng"),
+            )

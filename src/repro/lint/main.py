@@ -7,11 +7,17 @@ Exit codes: 0 clean, 1 findings (or strict-mode contract breaches),
 from __future__ import annotations
 
 import os
+import sys
 from typing import List, Optional
 
 from repro.lint import baseline as baseline_mod
+from repro.lint.cache import SummaryCache
 from repro.lint.engine import LintConfig, run_lint
 from repro.lint.report import render_json, render_sarif, render_text
+
+#: default cache location, relative to --root (a benchmarks artifact
+#: directory: ignored by git, safe to delete at any time)
+DEFAULT_CACHE_DIR = os.path.join("benchmarks", "results", "lint-cache")
 
 
 def build_config(args) -> LintConfig:
@@ -21,6 +27,14 @@ def build_config(args) -> LintConfig:
     if args.rule:
         cfg.select = tuple(args.rule)
     return cfg
+
+
+def build_cache(args) -> Optional[SummaryCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    directory = getattr(args, "cache_dir", None) or os.path.join(
+        args.root, DEFAULT_CACHE_DIR)
+    return SummaryCache(directory)
 
 
 def main(args) -> int:
@@ -46,7 +60,17 @@ def main(args) -> int:
             )
         entries = {}
 
-    result = run_lint(cfg, baseline_fingerprints=entries.keys())
+    cache = build_cache(args)
+    result = run_lint(cfg, baseline_fingerprints=entries.keys(),
+                      cache=cache)
+    if cache is not None:
+        # stderr, never stdout: report output must stay byte-identical
+        # between cold and warm runs
+        print(
+            f"lint-cache: {result.cache_hits} hit(s), "
+            f"{result.cache_misses} miss(es)",
+            file=sys.stderr,
+        )
 
     out: Optional[str] = getattr(args, "out", None)
     if args.format == "json":
@@ -89,5 +113,10 @@ def add_parser(sub) -> None:
                    help="snapshot current findings into the baseline")
     p.add_argument("--out", default=None,
                    help="write the report to a file instead of stdout")
+    p.add_argument("--cache-dir", default=None,
+                   help="per-module summary cache directory "
+                        f"(default <root>/{DEFAULT_CACHE_DIR})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="analyse every file from scratch")
     p.add_argument("--verbose", action="store_true",
                    help="also list suppressed findings (text format)")

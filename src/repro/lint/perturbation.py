@@ -1,4 +1,4 @@
-"""Zero-perturbation rules (P001–P002).
+"""Zero-perturbation rules (P001–P004).
 
 The observability layers — :mod:`repro.trace`, :mod:`repro.metrics`,
 :mod:`repro.check` — promise that enabling them never changes a run's
@@ -6,6 +6,12 @@ results: they schedule no events, draw no randomness, and mutate
 nothing they observe.  PR 1/PR 4 assert this dynamically (byte-identical
 runs, RNG states compared); these rules enforce the two mutation
 vectors statically on every code path.
+
+P001/P002 are intraprocedural (a write or draw in the observer file
+itself).  P003/P004 lift the same contract across calls using the
+propagated summaries: an observer that hands its subject to a helper
+which mutates it, or that reaches a stream draw three frames down, is
+flagged at the observer's call site with the full witness chain.
 """
 
 from __future__ import annotations
@@ -14,7 +20,13 @@ import ast
 from typing import Iterable, Set
 
 from repro.lint.astutil import target_root
-from repro.lint.engine import FileContext, Finding, rule
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    ProgramContext,
+    program_rule,
+    rule,
+)
 
 #: first parameters that denote the observer itself, whose own state is
 #: fair game
@@ -87,3 +99,59 @@ def check_observer_rng(ctx: FileContext) -> Iterable[Finding]:
                 hint="observers must not draw randomness; sample "
                      "deterministically (e.g. every Nth event) instead",
             )
+
+
+def _observer_functions(pc: ProgramContext):
+    prog = pc.program
+    for path in sorted(pc.facts):
+        if not pc.is_observer(path):
+            continue
+        if path in pc.config.observer_driver_files:
+            continue  # drives monitored runs; reach is inherent
+        for qual in sorted(pc.facts[path]["functions"]):
+            key = f"{path}::{qual}"
+            s = prog.summaries.get(key)
+            if s is not None:
+                yield path, key, s
+
+
+@program_rule("P003", "observer-write-transitive",
+              "observer mutates its subject through a callee")
+def check_observer_writes_transitive(
+    pc: ProgramContext,
+) -> Iterable[Finding]:
+    prog = pc.program
+    for path, key, s in _observer_functions(pc):
+        for param, w in sorted(s.writes.items()):
+            if w[0] != "call":
+                continue  # direct writes are P001's
+            yield pc.finding(
+                path, w[1], w[2], "P003",
+                f"observer passes `{param}` into "
+                f"`{prog.display(w[3])}`, which mutates it: observers "
+                "must read, never mutate",
+                hint="the callee writes the object the observer was "
+                     "handed to watch; copy what you need, or keep "
+                     "derived state on the observer (self.*)",
+                chain=prog.chain(key, "write", param),
+            )
+
+
+@program_rule("P004", "observer-rng-transitive",
+              "observer reaches an RNG draw through a callee")
+def check_observer_rng_transitive(
+    pc: ProgramContext,
+) -> Iterable[Finding]:
+    prog = pc.program
+    for path, key, s in _observer_functions(pc):
+        w = s.draw
+        if w is None or w[0] != "call":
+            continue  # direct draws are P002's
+        yield pc.finding(
+            path, w[1], w[2], "P004",
+            f"observer call into `{prog.display(w[3])}` reaches an RNG "
+            "draw: enabling this observer would advance seeded streams",
+            hint="observers must not draw randomness, even indirectly; "
+                 "the chain below shows the path to the draw site",
+            chain=prog.chain(key, "draw"),
+        )

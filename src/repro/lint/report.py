@@ -18,6 +18,8 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
     lines: List[str] = []
     for f in result.findings:
         lines.append(f"{f.location()}: {f.rule_id} {f.message}")
+        for hop_path, hop_line, label in f.chain:
+            lines.append(f"    via {hop_path}:{hop_line}: {label}")
         if f.hint:
             lines.append(f"    hint: {f.hint}")
     if result.findings:
@@ -45,7 +47,7 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
 
 
 def _finding_dict(f: Finding) -> Dict:
-    return {
+    out = {
         "rule": f.rule_id,
         "path": f.path,
         "line": f.line,
@@ -53,6 +55,12 @@ def _finding_dict(f: Finding) -> Dict:
         "message": f.message,
         "hint": f.hint,
     }
+    if f.chain:
+        out["chain"] = [
+            {"path": p, "line": n, "label": label}
+            for p, n, label in f.chain
+        ]
+    return out
 
 
 def render_json(result: LintResult) -> str:
@@ -84,7 +92,7 @@ def render_sarif(result: LintResult) -> str:
         })
     results = []
     for f in result.findings:
-        results.append({
+        entry = {
             "ruleId": f.rule_id,
             "ruleIndex": rule_ids.index(f.rule_id),
             "level": "error",
@@ -103,7 +111,24 @@ def render_sarif(result: LintResult) -> str:
                     },
                 }
             }],
-        })
+        }
+        if f.chain:
+            # the interprocedural witness: each hop of the call chain
+            # from the reporting site down to the direct evidence
+            entry["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": hop_path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": hop_line},
+                    },
+                    "message": {"text": label},
+                }
+                for hop_path, hop_line, label in f.chain
+            ]
+        results.append(entry)
     doc = {
         "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
                     "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),

@@ -1,0 +1,80 @@
+"""Summary-cache semantics: content/config keying, corruption safety,
+and cold/warm run equivalence."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+from repro.lint.cache import SummaryCache
+from repro.lint.engine import LintConfig, run_lint
+
+ENTRY = {"findings": [], "suppressions": [], "facts": None}
+
+
+def test_roundtrip_and_keying(tmp_path):
+    cache = SummaryCache(str(tmp_path / "c"))
+    cache.store("src/a.py", "x = 1\n", "cfg1", ENTRY)
+    assert cache.load("src/a.py", "x = 1\n", "cfg1") == ENTRY
+    # content change misses
+    assert cache.load("src/a.py", "x = 2\n", "cfg1") is None
+    # config change misses
+    assert cache.load("src/a.py", "x = 1\n", "cfg2") is None
+    # different path never aliases (hashed filenames)
+    assert cache.load("src/b.py", "x = 1\n", "cfg1") is None
+    assert cache.hits == 1 and cache.misses == 3
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = SummaryCache(str(tmp_path / "c"))
+    cache.store("src/a.py", "x = 1\n", "cfg", ENTRY)
+    (path,) = [os.path.join(cache.directory, n)
+               for n in os.listdir(cache.directory)]
+    with open(path, "w") as fh:
+        fh.write("{not json")
+    assert cache.load("src/a.py", "x = 1\n", "cfg") is None
+    # a wrong-shape but valid-JSON document is also rejected
+    with open(path, "w") as fh:
+        json.dump({"path": "src/a.py"}, fh)
+    assert cache.load("src/a.py", "x = 1\n", "cfg") is None
+
+
+def _tree(tmp_path):
+    f = tmp_path / "src" / "repro" / "kernel" / "mod.py"
+    f.parent.mkdir(parents=True)
+    f.write_text(textwrap.dedent("""
+        import time
+
+        def tick():
+            return time.time()
+    """))
+    return LintConfig(root=str(tmp_path))
+
+
+def test_cold_and_warm_runs_agree(tmp_path):
+    cfg = _tree(tmp_path)
+    cache = SummaryCache(str(tmp_path / "cache"))
+    cold = run_lint(cfg, cache=cache)
+    assert cold.cache_hits == 0 and cold.cache_misses == 1
+
+    cache = SummaryCache(str(tmp_path / "cache"))
+    warm = run_lint(cfg, cache=cache)
+    assert warm.cache_hits == 1 and warm.cache_misses == 0
+    assert [(f.rule_id, f.path, f.line) for f in cold.findings] == \
+        [(f.rule_id, f.path, f.line) for f in warm.findings]
+    assert any(f.rule_id == "D002" for f in warm.findings)
+
+
+def test_edited_file_reanalyzed(tmp_path):
+    cfg = _tree(tmp_path)
+    cache = SummaryCache(str(tmp_path / "cache"))
+    first = run_lint(cfg, cache=cache)
+    assert any(f.rule_id == "D002" for f in first.findings)
+
+    mod = tmp_path / "src" / "repro" / "kernel" / "mod.py"
+    mod.write_text("def tick():\n    return 0\n")
+    cache = SummaryCache(str(tmp_path / "cache"))
+    second = run_lint(cfg, cache=cache)
+    assert second.cache_misses == 1
+    assert not any(f.rule_id == "D002" for f in second.findings)
